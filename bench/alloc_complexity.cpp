@@ -1,0 +1,81 @@
+// alloc_complexity.cpp — Lemma 7's complexity claim, measured.
+//
+// google-benchmark comparison of the O(n log n) Pack_Disks against the
+// O(n^2)-style Chang–Hwang–Park reference on identical instances (identical
+// outputs — see tests/core/equivalence_test.cpp).  The asymptotic gap shows
+// up directly in the reported complexity fits (BigO).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/chang_reference.h"
+#include "core/pack_disks.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace spindown;
+
+std::vector<core::Item> make_instance(std::size_t n, std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<core::Item> items(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items[i].index = static_cast<std::uint32_t>(i);
+    // Small coordinates: many items per disk, the regime where the naive
+    // member-list rescans in the reference implementation hurt most.
+    items[i].s = rng.uniform(1e-4, 0.02);
+    items[i].l = rng.uniform(1e-4, 0.02);
+  }
+  return items;
+}
+
+void BM_PackDisks(benchmark::State& state) {
+  const auto items = make_instance(static_cast<std::size_t>(state.range(0)), 7);
+  core::PackDisks pack;
+  for (auto _ : state) {
+    auto a = pack.allocate(items);
+    benchmark::DoNotOptimize(a.disk_count);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PackDisks)->RangeMultiplier(2)->Range(1 << 10, 1 << 16)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_ChangHwangPark(benchmark::State& state) {
+  const auto items = make_instance(static_cast<std::size_t>(state.range(0)), 7);
+  core::ChangHwangPark reference;
+  for (auto _ : state) {
+    auto a = reference.allocate(items);
+    benchmark::DoNotOptimize(a.disk_count);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ChangHwangPark)->RangeMultiplier(2)->Range(1 << 10, 1 << 13)
+    ->Complexity();
+
+// The paper's actual instance shape: Table 1's Zipf-correlated items.
+void BM_PackDisksPaperInstance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng{11};
+  std::vector<core::Item> items(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rank = static_cast<double>(i + 1);
+    items[i].index = static_cast<std::uint32_t>(i);
+    items[i].s = 0.04 / std::pow(static_cast<double>(n) - rank + 1.0, 0.4425);
+    items[i].l = 0.03 / std::pow(rank, 0.4425);
+  }
+  core::PackDisks pack;
+  for (auto _ : state) {
+    auto a = pack.allocate(items);
+    benchmark::DoNotOptimize(a.disk_count);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PackDisksPaperInstance)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 16)
+    ->Complexity(benchmark::oNLogN);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// bench_common.h — shared plumbing for the figure benches.
+//
+// Every bench binary accepts:
+//   --csv <path>   also write the series as CSV
+//   --seed <n>     override the experiment seed
+//   --full         run the paper's dense grid (default grids are coarsened
+//                  so the whole suite completes in minutes)
+//   --threads <n>  parallel sweep width (default: hardware)
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace spindown::bench {
+
+struct BenchOptions {
+  std::optional<std::string> csv_path;
+  std::uint64_t seed = 1;
+  bool full = false;
+  unsigned threads = 0;
+
+  static BenchOptions parse(int argc, char** argv) {
+    const util::Cli cli{argc, argv};
+    BenchOptions o;
+    if (cli.has("csv")) o.csv_path = cli.get("csv", "bench.csv");
+    o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    o.full = cli.has("full");
+    o.threads = static_cast<unsigned>(cli.get_int("threads", 0));
+    return o;
+  }
+
+  std::unique_ptr<util::CsvWriter> csv() const {
+    if (!csv_path.has_value()) return nullptr;
+    return std::make_unique<util::CsvWriter>(
+        std::filesystem::path{*csv_path});
+  }
+};
+
+inline void print_header(const std::string& title, const std::string& source) {
+  std::cout << "== " << title << " ==\n";
+  std::cout << "   reproduces: " << source << "\n\n";
+}
+
+} // namespace spindown::bench

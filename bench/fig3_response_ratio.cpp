@@ -1,0 +1,63 @@
+// fig3_response_ratio.cpp — Figure 3: response-time ratio vs. arrival rate.
+//
+// The series is  mean_response(Pack_Disks) / mean_response(random)  on the
+// Table 1 workload for the same (R, L) grid as Figure 2.  The paper reports
+// the ratio staying within roughly 0.5–2.5: packing concentrates queues
+// (ratio above 1 as R grows), but random placement pays spin-up penalties
+// that can push its own responses higher at low R (ratio below 1).
+#include <iostream>
+
+#include "bench_common.h"
+#include "paper_workload.h"
+
+int main(int argc, char** argv) {
+  using namespace spindown;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Response-time ratio (Pack_Disks / random) vs. rate",
+                      "Figure 3 of Otoo/Rotem/Tsao, IPPS 2009");
+
+  // Always the full 40,000-file catalog: the farm/load balance of Table 1
+  // depends on it (a smaller catalog inflates mean file size and overloads
+  // the 100-disk farm at high R).  --full only densifies the sweep grid.
+  const auto catalog = bench::table1_catalog(opts.seed);
+  const std::vector<double> rates =
+      opts.full ? std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+                : std::vector<double>{1, 2, 4, 6, 8, 10, 12};
+  const std::vector<double> loads{0.5, 0.6, 0.7, 0.8};
+
+  std::vector<sys::ExperimentConfig> configs;
+  for (const double r : rates) {
+    configs.push_back(
+        bench::random_config(catalog, r, bench::kPaperFarmDisks, opts.seed));
+  }
+  for (const double r : rates) {
+    for (const double l : loads) {
+      configs.push_back(
+          bench::packed_config(catalog, r, l, bench::kPaperFarmDisks, opts.seed));
+    }
+  }
+  const auto results = sys::run_sweep(configs, opts.threads);
+
+  util::TablePrinter table{{"R (req/s)", "L=50%", "L=60%", "L=70%", "L=80%",
+                            "rnd mean resp"}};
+  auto csv = opts.csv();
+  if (csv) csv->write_row({"rate", "load_fraction", "response_time_ratio"});
+
+  for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+    const auto& rnd = results[ri];
+    std::vector<std::string> row{util::format_double(rates[ri], 0)};
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+      const auto& packed = results[rates.size() + ri * loads.size() + li];
+      const double ratio = rnd.response.mean() > 0.0
+                               ? packed.response.mean() / rnd.response.mean()
+                               : 0.0;
+      row.push_back(util::format_double(ratio, 3));
+      if (csv) csv->row(rates[ri], loads[li], ratio);
+    }
+    row.push_back(util::format_seconds(rnd.response.mean()));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\n(paper shape: ratio roughly within 0.5-2.5 across the grid)\n";
+  return 0;
+}

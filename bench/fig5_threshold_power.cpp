@@ -1,0 +1,75 @@
+// fig5_threshold_power.cpp — Figure 5: power saving vs. idleness threshold.
+//
+// Replays the (synthesized) 30-day NERSC trace against the five §5.1
+// configurations — RND, Pack_Disk, Pack_Disk4, RND+LRU, Pack_Disk4+LRU —
+// sweeping the fixed idleness threshold from ~0 to 2 hours.  Power saving
+// is normalized against spinning all N disks with no power management (the
+// paper's normalization).  Paper shape: Pack_Disk(4) saves ~85% almost flat
+// across thresholds; RND varies strongly (high saving only at aggressive
+// thresholds); the 16 GB LRU barely helps (~5.6% hit ratio).
+#include <iostream>
+
+#include "bench_common.h"
+#include "paper_workload.h"
+
+int main(int argc, char** argv) {
+  using namespace spindown;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Power saving vs. idleness threshold (NERSC trace)",
+                      "Figure 5 of Otoo/Rotem/Tsao, IPPS 2009");
+
+  workload::NerscSpec spec = workload::NerscSpec::paper();
+  if (!opts.full) {
+    // Scale files and requests together but keep the full 30 days, so the
+    // per-disk arrival rate (what spin-down economics depend on) matches
+    // the paper's 0.0447/s over 96 disks.
+    spec.n_files = 20'000;
+    spec.n_requests = 26'000;
+  }
+  std::cout << "synthesizing NERSC-like trace (" << spec.n_requests
+            << " requests / " << spec.n_files << " files)...\n\n";
+  const auto trace = workload::synthesize_nersc(spec);
+
+  const std::vector<double> thresholds_h =
+      opts.full ? std::vector<double>{0.01, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0}
+                : std::vector<double>{0.01, 0.25, 0.5, 1.0, 2.0};
+
+  std::vector<sys::ExperimentConfig> configs;
+  for (const double th : thresholds_h) {
+    for (const auto c : bench::kAllNerscConfigs) {
+      configs.push_back(
+          bench::nersc_config(trace, c, th * util::kHour, opts.seed));
+    }
+  }
+  const auto results = sys::run_sweep(configs, opts.threads);
+
+  util::TablePrinter table{{"threshold (h)", "RND", "Pack_Disk", "Pack_Disk4",
+                            "RND+LRU", "Pack_Disk4+LRU"}};
+  auto csv = opts.csv();
+  if (csv) csv->write_row({"threshold_h", "config", "power_saving"});
+
+  const std::size_t n_cfg = std::size(bench::kAllNerscConfigs);
+  for (std::size_t ti = 0; ti < thresholds_h.size(); ++ti) {
+    std::vector<std::string> row{util::format_double(thresholds_h[ti], 2)};
+    for (std::size_t ci = 0; ci < n_cfg; ++ci) {
+      const auto& r = results[ti * n_cfg + ci];
+      row.push_back(util::format_double(r.power.saving_vs_always_on, 3));
+      if (csv) {
+        csv->row(thresholds_h[ti],
+                 bench::to_string(bench::kAllNerscConfigs[ci]),
+                 r.power.saving_vs_always_on);
+      }
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  // The §5.1 cache observation.
+  const auto& lru_run = results[n_cfg - 1]; // any +LRU run: same cache size
+  std::cout << "\nLRU cache hit ratio: "
+            << util::format_double(100.0 * lru_run.cache.hit_ratio(), 1)
+            << "% (paper: 5.6%)\n";
+  std::cout << "(paper shape: Pack_Disk(4) ~0.85 and nearly flat; RND varies "
+               "30-90%,\n falling as the threshold grows; LRU adds little)\n";
+  return 0;
+}

@@ -1,0 +1,154 @@
+// paper_workload.h — shared construction of the paper's experimental setups.
+//
+// Figures 2-4 use the Table 1 synthetic workload: 40,000 files on a 100-disk
+// farm, Poisson arrivals at R in [1, 12], simulated for 4000 s.  Figures 5/6
+// use the (synthesized) NERSC trace on a 96-disk farm for 720 h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/normalize.h"
+#include "core/pack_disks.h"
+#include "core/pack_grouped.h"
+#include "core/random_alloc.h"
+#include "sys/experiment.h"
+#include "sys/sweep.h"
+#include "workload/catalog.h"
+#include "workload/nersc.h"
+
+namespace spindown::bench {
+
+/// Table 1 constants.
+inline constexpr std::uint32_t kPaperFarmDisks = 100;
+inline constexpr double kPaperSimSeconds = 4000.0;
+
+/// The Table 1 catalog (full 40,000 files unless scaled down).
+inline workload::FileCatalog table1_catalog(std::uint64_t seed,
+                                            std::size_t n_files = 40'000) {
+  workload::SyntheticSpec spec = workload::SyntheticSpec::paper_table1();
+  spec.n_files = n_files;
+  util::Rng rng{seed};
+  return workload::generate_catalog(spec, rng);
+}
+
+/// Pack the catalog for (R, L) and return the experiment config on a farm of
+/// at least `farm` disks (grown if the packing needs more).
+inline sys::ExperimentConfig packed_config(const workload::FileCatalog& cat,
+                                           double rate, double load_fraction,
+                                           std::uint32_t farm,
+                                           std::uint64_t seed) {
+  core::LoadModel model;
+  model.rate = rate;
+  model.load_fraction = load_fraction;
+  core::PackDisks pack;
+  const auto a = pack.allocate(core::normalize(cat, model));
+  sys::ExperimentConfig cfg;
+  cfg.label = "pack_disks R=" + util::format_double(rate, 2) +
+              " L=" + util::format_double(load_fraction, 2);
+  cfg.catalog = &cat;
+  cfg.mapping = a.disk_of;
+  cfg.num_disks = std::max(farm, a.disk_count);
+  cfg.workload = sys::WorkloadSpec::poisson(rate, kPaperSimSeconds);
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Random placement over exactly `farm` disks.
+inline sys::ExperimentConfig random_config(const workload::FileCatalog& cat,
+                                           double rate, std::uint32_t farm,
+                                           std::uint64_t seed) {
+  core::LoadModel model;
+  model.rate = rate;
+  model.load_fraction = 1.0; // random ignores load; normalize leniently
+  core::RandomAllocator rnd{farm, seed};
+  const auto a = rnd.allocate(core::normalize(cat, model));
+  sys::ExperimentConfig cfg;
+  cfg.label = "random R=" + util::format_double(rate, 2);
+  cfg.catalog = &cat;
+  cfg.mapping = a.disk_of;
+  cfg.num_disks = farm;
+  cfg.workload = sys::WorkloadSpec::poisson(rate, kPaperSimSeconds);
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// The five §5.1 configurations of Figures 5/6.
+enum class NerscConfig { kRandom, kPack, kPack4, kRandomLru, kPack4Lru };
+
+inline std::string to_string(NerscConfig c) {
+  switch (c) {
+    case NerscConfig::kRandom: return "RND";
+    case NerscConfig::kPack: return "Pack_Disk";
+    case NerscConfig::kPack4: return "Pack_Disk4";
+    case NerscConfig::kRandomLru: return "RND+LRU";
+    case NerscConfig::kPack4Lru: return "Pack_Disk4+LRU";
+  }
+  return "?";
+}
+
+inline constexpr NerscConfig kAllNerscConfigs[] = {
+    NerscConfig::kRandom, NerscConfig::kPack, NerscConfig::kPack4,
+    NerscConfig::kRandomLru, NerscConfig::kPack4Lru};
+
+/// Allocation for a NERSC config; `farm` receives the disk count used.
+inline std::vector<std::uint32_t> nersc_mapping(const workload::Trace& trace,
+                                                NerscConfig config,
+                                                std::uint32_t& farm,
+                                                std::uint64_t seed) {
+  core::LoadModel model;
+  model.rate = std::max(
+      1e-6, static_cast<double>(trace.size()) / std::max(1.0, trace.duration()));
+  model.load_fraction = 0.8;
+  const auto items = core::normalize(trace.catalog(), model);
+
+  switch (config) {
+    case NerscConfig::kPack: {
+      core::PackDisks pack;
+      const auto a = pack.allocate(items);
+      farm = a.disk_count;
+      return a.disk_of;
+    }
+    case NerscConfig::kPack4:
+    case NerscConfig::kPack4Lru: {
+      core::PackDisksGrouped pack{4};
+      const auto a = pack.allocate(items);
+      farm = a.disk_count;
+      return a.disk_of;
+    }
+    case NerscConfig::kRandom:
+    case NerscConfig::kRandomLru: {
+      // §5.1: random packs into the same number of disks as Pack_Disks.
+      core::PackDisks pack;
+      const auto packed = pack.allocate(items);
+      farm = packed.disk_count;
+      core::RandomAllocator rnd{farm, seed};
+      return rnd.allocate(items).disk_of;
+    }
+  }
+  farm = 0;
+  return {};
+}
+
+inline sys::ExperimentConfig nersc_config(const workload::Trace& trace,
+                                          NerscConfig config,
+                                          double threshold_s,
+                                          std::uint64_t seed) {
+  std::uint32_t farm = 0;
+  auto mapping = nersc_mapping(trace, config, farm, seed);
+  sys::ExperimentConfig cfg;
+  cfg.label = to_string(config);
+  cfg.catalog = &trace.catalog();
+  cfg.mapping = std::move(mapping);
+  cfg.num_disks = farm;
+  cfg.policy = sys::PolicySpec::fixed(threshold_s);
+  if (config == NerscConfig::kRandomLru || config == NerscConfig::kPack4Lru) {
+    cfg.cache = sys::CacheSpec::lru(util::gb(16.0)); // §5.1's cache
+  }
+  cfg.workload = sys::WorkloadSpec::replay(trace);
+  cfg.seed = seed;
+  return cfg;
+}
+
+} // namespace spindown::bench

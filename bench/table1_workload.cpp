@@ -1,0 +1,59 @@
+// table1_workload.cpp — Table 1: the synthetic workload's parameters,
+// regenerated and checked against the published values.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/normalize.h"
+#include "paper_workload.h"
+#include "util/math.h"
+
+int main(int argc, char** argv) {
+  using namespace spindown;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::print_header("Synthetic workload parameters",
+                      "Table 1 of Otoo/Rotem/Tsao, IPPS 2009");
+
+  const auto catalog = bench::table1_catalog(opts.seed);
+  const double theta = util::paper_zipf_theta();
+
+  double pop_sum = 0.0;
+  for (const auto& f : catalog.files()) pop_sum += f.popularity;
+
+  util::TablePrinter table{{"parameter", "generated", "paper (Table 1)"}};
+  table.row("n (files)", catalog.size(), "40000");
+  table.row("theta = log0.6/log0.4", util::format_double(theta, 4), "~0.5575");
+  table.row("popularity exponent (1-theta)", util::format_double(1.0 - theta, 4),
+            "~0.4425");
+  table.row("sum of p_i", util::format_double(pop_sum, 6), "1");
+  table.row("min file size", util::format_bytes(catalog.min_size()), "188 MB");
+  table.row("max file size", util::format_bytes(catalog.max_size()), "20 GB");
+  table.row("total space", util::format_bytes(catalog.total_bytes()),
+            "12.86 TB");
+  table.row("number of disks", "100", "100");
+  table.row("simulated time", "4000 s", "4000 sec");
+  table.row("R sweep", "1..12 req/s (Poisson)", "1..12 (Poisson)");
+  table.print(std::cout);
+
+  // The emergent load picture the experiments rest on.
+  std::cout << "\naggregate demand by arrival rate (disks of load at L=1):\n";
+  util::TablePrinter demand{{"R", "load disks", "space disks"}};
+  for (const double r : {1.0, 4.0, 6.0, 12.0}) {
+    core::LoadModel model;
+    model.rate = r;
+    model.load_fraction = 1.0;
+    const auto items = core::normalize(catalog, model);
+    const auto u = core::utilization(items);
+    demand.row(util::format_double(r, 0), util::format_double(u.load_disks, 1),
+               util::format_double(u.space_disks, 1));
+  }
+  demand.print(std::cout);
+
+  if (auto csv = opts.csv()) {
+    csv->write_row({"parameter", "value"});
+    csv->row("n_files", catalog.size());
+    csv->row("min_size_bytes", catalog.min_size());
+    csv->row("max_size_bytes", catalog.max_size());
+    csv->row("total_bytes", catalog.total_bytes());
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+// policy_explorer.cpp — explore spin-down policies on a single disk.
+//
+// The paper's §2 surveys the dynamic power management literature: fixed
+// break-even thresholds are 2-competitive, randomized thresholds get
+// e/(e-1).  This example makes those results tangible: it feeds one disk a
+// stream of idle gaps drawn from a chosen distribution, runs every policy,
+// and reports measured energy and the competitive ratio against the
+// offline optimum (computed from the realized gaps).
+//
+//   $ ./policy_explorer --gaps 2000 --dist exp --mean-gap 60 [--seed 1]
+//   distributions: exp | uniform | bimodal (short bursts + long lulls)
+#include <iostream>
+#include <vector>
+
+#include "des/simulation.h"
+#include "disk/disk.h"
+#include "disk/spin_policy.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace spindown;
+
+std::vector<double> draw_gaps(const std::string& dist, std::size_t n,
+                              double mean_gap, util::Rng& rng) {
+  std::vector<double> gaps;
+  gaps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dist == "uniform") {
+      gaps.push_back(rng.uniform(0.0, 2.0 * mean_gap));
+    } else if (dist == "bimodal") {
+      // 80% short gaps (burst), 20% long lulls — adversarial for fixed
+      // thresholds sized to the mean.
+      gaps.push_back(rng.uniform01() < 0.8
+                         ? rng.exponential(1.0 / (0.2 * mean_gap))
+                         : rng.exponential(1.0 / (4.2 * mean_gap)));
+    } else {
+      gaps.push_back(rng.exponential(1.0 / mean_gap));
+    }
+  }
+  return gaps;
+}
+
+/// Simulate one disk fed requests separated by the given idle gaps; returns
+/// the measured energy attributable to gap handling (idle + transitions +
+/// standby) so it is directly comparable to offline_optimal_idle_energy.
+util::Joules run_policy(const disk::DiskParams& params,
+                        std::unique_ptr<disk::SpinDownPolicy> policy,
+                        const std::vector<double>& gaps, std::uint64_t seed,
+                        std::uint64_t& spin_downs, double& mean_resp) {
+  des::Simulation sim;
+  disk::Disk d{sim, 0, params, std::move(policy), util::Rng{seed}};
+  double total_resp = 0.0;
+  std::uint64_t served = 0;
+  d.set_completion_callback([&](const disk::Completion& c) {
+    total_resp += c.response_time();
+    ++served;
+  });
+
+  const util::Bytes file = util::mb(72.0); // 1 s transfer
+  const double svc = params.service_time(file);
+  // Request k arrives svc + gap after request k-1 *started service*; when a
+  // spin-up intervenes the next gap begins after that completion instead, so
+  // schedule arrivals cumulatively from each completion.
+  double t = 0.0;
+  std::uint64_t id = 0;
+  sim.schedule_at(t, [&] { d.submit(id++, file); });
+  for (const double gap : gaps) {
+    t += svc + gap;
+    sim.schedule_at(t, [&, t] {
+      (void)t;
+      d.submit(id++, file);
+    });
+  }
+  sim.run();
+  const auto m = d.metrics(sim.now());
+  spin_downs = m.spin_downs;
+  mean_resp = served > 0 ? total_resp / static_cast<double>(served) : 0.0;
+  // Subtract the service energy (identical across policies).
+  const double busy = m.time_in(disk::PowerState::kPositioning) * params.seek_w +
+                      m.time_in(disk::PowerState::kTransfer) * params.active_w;
+  return m.energy(params) - busy;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace spindown;
+  const util::Cli cli{argc, argv};
+  const auto n_gaps = static_cast<std::size_t>(cli.get_int("gaps", 2000));
+  const double mean_gap = cli.get_double("mean-gap", 60.0);
+  const std::string dist = cli.get("dist", "exp");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  const auto params = disk::DiskParams::st3500630as();
+  util::Rng rng{seed};
+  const auto gaps = draw_gaps(dist, n_gaps, mean_gap, rng);
+
+  std::cout << "disk: " << params.model << ", break-even threshold "
+            << util::format_seconds(params.break_even_threshold()) << "\n";
+  std::cout << "gaps: " << n_gaps << " x " << dist << " (mean "
+            << util::format_seconds(mean_gap) << ")\n\n";
+
+  const util::Joules opt = disk::offline_optimal_idle_energy(params, gaps);
+
+  struct Entry {
+    std::string name;
+    std::function<std::unique_ptr<disk::SpinDownPolicy>()> make;
+  };
+  const std::vector<Entry> policies{
+      {"never spin down", [&] { return disk::make_never_policy(); }},
+      {"immediate", [&] { return disk::make_fixed_policy(0.0); }},
+      {"fixed mean/2",
+       [&] { return disk::make_fixed_policy(0.5 * mean_gap); }},
+      {"break-even (2-competitive)",
+       [&] { return disk::make_break_even_policy(params); }},
+      {"randomized (e/(e-1))",
+       [&] { return disk::make_randomized_policy(params); }},
+  };
+
+  util::TablePrinter table{{"policy", "gap energy (kJ)", "vs offline opt",
+                            "spin-downs", "mean resp (s)"}};
+  for (const auto& p : policies) {
+    std::uint64_t spin_downs = 0;
+    double mean_resp = 0.0;
+    const auto energy =
+        run_policy(params, p.make(), gaps, seed, spin_downs, mean_resp);
+    table.row(p.name, util::format_double(energy / 1000.0, 1),
+              util::format_double(energy / opt, 3), spin_downs,
+              util::format_double(mean_resp, 2));
+  }
+  table.print(std::cout);
+  std::cout << "\noffline optimum (sees the future): "
+            << util::format_double(opt / 1000.0, 1) << " kJ\n"
+            << "theory: break-even <= 2x optimum on every input; the\n"
+            << "randomized policy averages ~1.58x against oblivious inputs\n";
+  return 0;
+}

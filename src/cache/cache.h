@@ -1,0 +1,53 @@
+// cache.h — byte-capacity whole-file caches in front of the disk farm.
+//
+// §5.1 places a 16 GB LRU cache before the dispatcher ("RND+LRU",
+// "Pack_Disk4+LRU" in Figures 5/6) and reports a 5.6% hit ratio on the NERSC
+// workload.  The conclusions list cache policy as future work, so FIFO and
+// LFU variants are provided for the ablation bench.
+//
+// Semantics: whole files only (the paper's requests fetch whole files); a
+// file larger than the capacity is never admitted; admission happens on
+// miss (demand caching), evicting per policy until the file fits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+#include "workload/catalog.h"
+
+namespace spindown::cache {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  std::uint64_t accesses() const { return hits + misses; }
+  double hit_ratio() const {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(hits) /
+                                 static_cast<double>(accesses());
+  }
+};
+
+class FileCache {
+public:
+  virtual ~FileCache() = default;
+
+  /// Record an access: returns true on hit.  On miss the file is admitted
+  /// (unless larger than capacity), evicting victims per policy.
+  virtual bool access(workload::FileId id, util::Bytes size) = 0;
+
+  /// Presence check without side effects.
+  virtual bool contains(workload::FileId id) const = 0;
+
+  virtual util::Bytes capacity() const = 0;
+  virtual util::Bytes used() const = 0;
+  virtual std::size_t entries() const = 0;
+
+  virtual const CacheStats& stats() const = 0;
+  virtual std::string name() const = 0;
+};
+
+} // namespace spindown::cache

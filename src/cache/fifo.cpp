@@ -1,0 +1,37 @@
+#include "cache/fifo.h"
+
+#include <cassert>
+
+namespace spindown::cache {
+
+FifoCache::FifoCache(util::Bytes capacity) : capacity_(capacity) {}
+
+bool FifoCache::access(workload::FileId id, util::Bytes size) {
+  if (sizes_.contains(id)) {
+    ++stats_.hits; // FIFO order is insertion order: no promotion on hit
+    return true;
+  }
+  ++stats_.misses;
+  if (size > capacity_) return false;
+  while (used_ + size > capacity_) evict_one();
+  order_.push_back(id);
+  sizes_[id] = size;
+  used_ += size;
+  return false;
+}
+
+bool FifoCache::contains(workload::FileId id) const {
+  return sizes_.contains(id);
+}
+
+void FifoCache::evict_one() {
+  assert(!order_.empty());
+  const auto victim = order_.front();
+  order_.pop_front();
+  const auto it = sizes_.find(victim);
+  used_ -= it->second;
+  sizes_.erase(it);
+  ++stats_.evictions;
+}
+
+} // namespace spindown::cache

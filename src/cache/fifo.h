@@ -1,0 +1,34 @@
+// fifo.h — first-in-first-out cache (future-work ablation baseline).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "cache/cache.h"
+
+namespace spindown::cache {
+
+class FifoCache final : public FileCache {
+public:
+  explicit FifoCache(util::Bytes capacity);
+
+  bool access(workload::FileId id, util::Bytes size) override;
+  bool contains(workload::FileId id) const override;
+
+  util::Bytes capacity() const override { return capacity_; }
+  util::Bytes used() const override { return used_; }
+  std::size_t entries() const override { return sizes_.size(); }
+  const CacheStats& stats() const override { return stats_; }
+  std::string name() const override { return "fifo"; }
+
+private:
+  void evict_one();
+
+  util::Bytes capacity_;
+  util::Bytes used_ = 0;
+  std::deque<workload::FileId> order_; // front = oldest
+  std::unordered_map<workload::FileId, util::Bytes> sizes_;
+  CacheStats stats_;
+};
+
+} // namespace spindown::cache

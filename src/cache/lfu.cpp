@@ -1,0 +1,48 @@
+#include "cache/lfu.h"
+
+#include <cassert>
+
+namespace spindown::cache {
+
+LfuCache::LfuCache(util::Bytes capacity) : capacity_(capacity) {}
+
+bool LfuCache::access(workload::FileId id, util::Bytes size) {
+  ++clock_;
+  if (const auto it = entries_.find(id); it != entries_.end()) {
+    ++stats_.hits;
+    victim_order_.erase({{it->second.freq, it->second.last_touch}, id});
+    ++it->second.freq;
+    it->second.last_touch = clock_;
+    victim_order_.insert({{it->second.freq, it->second.last_touch}, id});
+    return true;
+  }
+  ++stats_.misses;
+  if (size > capacity_) return false;
+  while (used_ + size > capacity_) evict_one();
+  Entry e{size, 1, clock_};
+  entries_[id] = e;
+  victim_order_.insert({{e.freq, e.last_touch}, id});
+  used_ += size;
+  return false;
+}
+
+bool LfuCache::contains(workload::FileId id) const {
+  return entries_.contains(id);
+}
+
+std::uint64_t LfuCache::frequency(workload::FileId id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? 0 : it->second.freq;
+}
+
+void LfuCache::evict_one() {
+  assert(!victim_order_.empty());
+  const auto [key, id] = *victim_order_.begin();
+  victim_order_.erase(victim_order_.begin());
+  const auto it = entries_.find(id);
+  used_ -= it->second.size;
+  entries_.erase(it);
+  ++stats_.evictions;
+}
+
+} // namespace spindown::cache

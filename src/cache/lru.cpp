@@ -1,0 +1,37 @@
+#include "cache/lru.h"
+
+#include <cassert>
+
+namespace spindown::cache {
+
+LruCache::LruCache(util::Bytes capacity) : capacity_(capacity) {}
+
+bool LruCache::access(workload::FileId id, util::Bytes size) {
+  if (const auto it = index_.find(id); it != index_.end()) {
+    ++stats_.hits;
+    order_.splice(order_.begin(), order_, it->second); // move to front
+    return true;
+  }
+  ++stats_.misses;
+  if (size > capacity_) return false; // never admissible
+  while (used_ + size > capacity_) evict_one();
+  order_.push_front(Entry{id, size});
+  index_[id] = order_.begin();
+  used_ += size;
+  return false;
+}
+
+bool LruCache::contains(workload::FileId id) const {
+  return index_.contains(id);
+}
+
+void LruCache::evict_one() {
+  assert(!order_.empty());
+  const Entry& victim = order_.back();
+  used_ -= victim.size;
+  index_.erase(victim.id);
+  order_.pop_back();
+  ++stats_.evictions;
+}
+
+} // namespace spindown::cache

@@ -1,0 +1,40 @@
+// lru.h — least-recently-used cache (the paper's §5.1 configuration).
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/cache.h"
+
+namespace spindown::cache {
+
+class LruCache final : public FileCache {
+public:
+  explicit LruCache(util::Bytes capacity);
+
+  bool access(workload::FileId id, util::Bytes size) override;
+  bool contains(workload::FileId id) const override;
+
+  util::Bytes capacity() const override { return capacity_; }
+  util::Bytes used() const override { return used_; }
+  std::size_t entries() const override { return index_.size(); }
+  const CacheStats& stats() const override { return stats_; }
+  std::string name() const override { return "lru"; }
+
+private:
+  struct Entry {
+    workload::FileId id;
+    util::Bytes size;
+  };
+
+  void evict_one();
+
+  util::Bytes capacity_;
+  util::Bytes used_ = 0;
+  // Front = most recently used.
+  std::list<Entry> order_;
+  std::unordered_map<workload::FileId, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+} // namespace spindown::cache

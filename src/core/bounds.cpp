@@ -1,0 +1,26 @@
+#include "core/bounds.h"
+
+#include <cmath>
+#include <limits>
+
+namespace spindown::core {
+
+BoundReport bound_report(std::span<const Item> items) {
+  BoundReport r;
+  const auto totals = sums(items);
+  r.total_s = totals.total_s;
+  r.total_l = totals.total_l;
+  r.rho = rho(items);
+  const double lb = std::max(r.total_s, r.total_l);
+  r.lower_bound = static_cast<std::uint32_t>(std::ceil(lb - 1e-9));
+  r.guarantee = r.rho >= 1.0 ? std::numeric_limits<double>::infinity()
+                             : 1.0 + lb / (1.0 - r.rho);
+  return r;
+}
+
+bool within_guarantee(const BoundReport& report, std::uint32_t disks) {
+  // +1e-9: the guarantee is a real-valued ceiling on an integer count.
+  return static_cast<double>(disks) <= report.guarantee + 1e-9;
+}
+
+} // namespace spindown::core

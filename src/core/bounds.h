@@ -1,0 +1,34 @@
+// bounds.h — optimality accounting for Theorem 1.
+//
+// The proof of Theorem 1 gives a checkable guarantee without knowing the
+// optimum C*: every lower bound satisfies C* >= max(sum s_i, sum l_i), and
+// the case analysis shows
+//     C_PD <= 1 + max(sum s_i, sum l_i) / (1 - rho)
+// which is what tests assert on random instances and what the bound-quality
+// bench reports.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/item.h"
+
+namespace spindown::core {
+
+struct BoundReport {
+  double total_s = 0.0;
+  double total_l = 0.0;
+  double rho = 0.0;
+  /// ceil(max(total_s, total_l)): a valid lower bound on any packing.
+  std::uint32_t lower_bound = 0;
+  /// 1 + max(total_s, total_l)/(1 - rho): Theorem 1's checkable ceiling
+  /// (infinity when rho == 1).
+  double guarantee = 0.0;
+};
+
+BoundReport bound_report(std::span<const Item> items);
+
+/// True iff `disks` respects Theorem 1's checkable guarantee.
+bool within_guarantee(const BoundReport& report, std::uint32_t disks);
+
+} // namespace spindown::core

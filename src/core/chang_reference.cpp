@@ -1,0 +1,144 @@
+#include "core/chang_reference.h"
+
+#include <cassert>
+#include <vector>
+
+namespace spindown::core {
+
+namespace {
+
+/// Unordered pool scanned linearly for its maximum-key element: the O(n)
+/// stand-in for the max-heap.
+class ScanPool {
+public:
+  void add(double key, std::uint32_t index) { elems_.push_back({key, index}); }
+
+  bool empty() const { return elems_.empty(); }
+
+  /// Remove and return the index of the max-key element (ties: smallest
+  /// index), by linear scan.
+  std::uint32_t pop_max() {
+    assert(!elems_.empty());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < elems_.size(); ++i) {
+      if (elems_[i].key > elems_[best].key ||
+          (elems_[i].key == elems_[best].key &&
+           elems_[i].index < elems_[best].index)) {
+        best = i;
+      }
+    }
+    const auto idx = elems_[best].index;
+    elems_.erase(elems_.begin() + static_cast<std::ptrdiff_t>(best));
+    return idx;
+  }
+
+private:
+  struct Elem {
+    double key;
+    std::uint32_t index;
+  };
+  std::vector<Elem> elems_;
+};
+
+struct Member {
+  std::uint32_t index;
+  bool from_s; ///< drawn from the size-intensive pool
+};
+
+} // namespace
+
+Assignment ChangHwangPark::allocate(std::span<const Item> items) {
+  validate_instance(items);
+  Assignment out;
+  out.disk_of.assign(items.size(), 0);
+  if (items.empty()) return out;
+
+  const double r = rho(items);
+  const double threshold = 1.0 - r;
+
+  ScanPool pool_s, pool_l;
+  for (const auto& it : items) {
+    if (it.size_intensive()) {
+      pool_s.add(it.s_key(), it.index);
+    } else {
+      pool_l.add(it.l_key(), it.index);
+    }
+  }
+
+  std::vector<Member> disk;
+
+  // Totals recomputed from scratch on every query — the naive O(|Di|) cost
+  // this reference exists to exhibit.
+  auto S = [&] {
+    double acc = 0.0;
+    for (const auto& m : disk) acc += items[m.index].s;
+    return acc;
+  };
+  auto L = [&] {
+    double acc = 0.0;
+    for (const auto& m : disk) acc += items[m.index].l;
+    return acc;
+  };
+
+  auto close_disk = [&] {
+    for (const auto& m : disk) out.disk_of[m.index] = out.disk_count;
+    ++out.disk_count;
+    disk.clear();
+  };
+
+  // Linear search from the back for the most recently added member of the
+  // given origin; remove and return its index.
+  auto evict_last_of = [&](bool from_s) {
+    for (std::size_t i = disk.size(); i-- > 0;) {
+      if (disk[i].from_s == from_s) {
+        const auto idx = disk[i].index;
+        disk.erase(disk.begin() + static_cast<std::ptrdiff_t>(i));
+        return idx;
+      }
+    }
+    assert(false && "eviction target must exist (Lemmas 1/2)");
+    return disk.back().index;
+  };
+
+  auto complete = [&] { return S() >= threshold && L() >= threshold; };
+
+  while ((S() >= L() && !pool_l.empty()) || (S() < L() && !pool_s.empty())) {
+    if (S() >= L()) {
+      const auto j = pool_l.pop_max();
+      if (S() + items[j].s > 1.0) {
+        const auto k = evict_last_of(/*from_s=*/true);
+        pool_s.add(items[k].s_key(), k);
+        disk.push_back(Member{j, false});
+        close_disk();
+        continue;
+      }
+      disk.push_back(Member{j, false});
+    } else {
+      const auto j = pool_s.pop_max();
+      if (L() + items[j].l > 1.0) {
+        const auto k = evict_last_of(/*from_s=*/false);
+        pool_l.add(items[k].l_key(), k);
+        disk.push_back(Member{j, true});
+        close_disk();
+        continue;
+      }
+      disk.push_back(Member{j, true});
+    }
+    if (complete()) close_disk();
+  }
+
+  while (!pool_s.empty()) {
+    const auto j = pool_s.pop_max();
+    if (S() + items[j].s > 1.0) close_disk();
+    disk.push_back(Member{j, true});
+  }
+  while (!pool_l.empty()) {
+    const auto j = pool_l.pop_max();
+    if (L() + items[j].l > 1.0) close_disk();
+    disk.push_back(Member{j, false});
+  }
+  if (!disk.empty()) close_disk();
+  return out;
+}
+
+} // namespace spindown::core

@@ -1,0 +1,81 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace spindown::core {
+
+namespace {
+
+struct DiskState {
+  double s = 0.0;
+  double l = 0.0;
+  bool fits(const Item& it) const { return s + it.s <= 1.0 && l + it.l <= 1.0; }
+};
+
+Assignment pack_in_order(std::span<const Item> items,
+                         std::span<const std::uint32_t> order, bool best_fit) {
+  Assignment out;
+  out.disk_of.assign(items.size(), 0);
+  std::vector<DiskState> disks;
+  for (const auto pos : order) {
+    const Item& it = items[pos];
+    std::size_t chosen = disks.size();
+    if (best_fit) {
+      double best_slack = 3.0; // any feasible disk has slack < 2
+      for (std::size_t d = 0; d < disks.size(); ++d) {
+        if (!disks[d].fits(it)) continue;
+        const double slack =
+            (1.0 - disks[d].s - it.s) + (1.0 - disks[d].l - it.l);
+        if (slack < best_slack) {
+          best_slack = slack;
+          chosen = d;
+        }
+      }
+    } else {
+      for (std::size_t d = 0; d < disks.size(); ++d) {
+        if (disks[d].fits(it)) {
+          chosen = d;
+          break;
+        }
+      }
+    }
+    if (chosen == disks.size()) disks.push_back(DiskState{});
+    disks[chosen].s += it.s;
+    disks[chosen].l += it.l;
+    out.disk_of[it.index] = static_cast<std::uint32_t>(chosen);
+  }
+  out.disk_count = static_cast<std::uint32_t>(disks.size());
+  return out;
+}
+
+std::vector<std::uint32_t> identity_order(std::size_t n) {
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  return order;
+}
+
+} // namespace
+
+Assignment FirstFit::allocate(std::span<const Item> items) {
+  validate_instance(items);
+  return pack_in_order(items, identity_order(items.size()), /*best_fit=*/false);
+}
+
+Assignment BestFit::allocate(std::span<const Item> items) {
+  validate_instance(items);
+  return pack_in_order(items, identity_order(items.size()), /*best_fit=*/true);
+}
+
+Assignment FirstFitDecreasing::allocate(std::span<const Item> items) {
+  validate_instance(items);
+  auto order = identity_order(items.size());
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return std::max(items[a].s, items[a].l) >
+                            std::max(items[b].s, items[b].l);
+                   });
+  return pack_in_order(items, order, /*best_fit=*/false);
+}
+
+} // namespace spindown::core

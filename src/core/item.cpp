@@ -1,0 +1,64 @@
+#include "core/item.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spindown::core {
+
+double rho(std::span<const Item> items) {
+  double r = 0.0;
+  for (const auto& it : items) {
+    r = std::max({r, it.s, it.l});
+  }
+  return r;
+}
+
+InstanceSums sums(std::span<const Item> items) {
+  InstanceSums out;
+  for (const auto& it : items) {
+    out.total_s += it.s;
+    out.total_l += it.l;
+  }
+  return out;
+}
+
+std::vector<DiskTotals> disk_totals(const Assignment& a,
+                                    std::span<const Item> items) {
+  std::vector<DiskTotals> out(a.disk_count);
+  for (const auto& it : items) {
+    const auto d = a.disk_of.at(it.index);
+    out.at(d).s += it.s;
+    out.at(d).l += it.l;
+    out.at(d).items += 1;
+  }
+  return out;
+}
+
+void validate_instance(std::span<const Item> items) {
+  for (const auto& it : items) {
+    if (!std::isfinite(it.s) || !std::isfinite(it.l)) {
+      throw std::invalid_argument{"item coordinates must be finite"};
+    }
+    if (it.s < 0.0 || it.s > 1.0 || it.l < 0.0 || it.l > 1.0) {
+      throw std::invalid_argument{
+          "item coordinates must lie in [0,1]; renormalize the instance "
+          "(a file bigger than a disk or hotter than one disk's service "
+          "capacity cannot be allocated)"};
+    }
+  }
+}
+
+bool is_feasible(const Assignment& a, std::span<const Item> items,
+                 double eps) {
+  if (a.disk_of.size() < items.size()) return false;
+  for (const auto& it : items) {
+    if (a.disk_of[it.index] >= a.disk_count) return false;
+  }
+  for (const auto& d : disk_totals(a, items)) {
+    if (d.s > 1.0 + eps || d.l > 1.0 + eps) return false;
+  }
+  return true;
+}
+
+} // namespace spindown::core

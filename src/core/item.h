@@ -1,0 +1,65 @@
+// item.h — the two-dimensional vector packing instance (Definition 1).
+//
+// Each file i becomes an item (s_i, l_i): its storage and its load, both
+// normalized by the per-disk bounds S and L so every disk is a unit square.
+// The allocation problem is: partition items into the fewest subsets (disks)
+// such that each subset's coordinate-wise sum stays <= 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spindown::core {
+
+struct Item {
+  double s = 0.0;           ///< normalized size, in [0, 1]
+  double l = 0.0;           ///< normalized load, in [0, 1]
+  std::uint32_t index = 0;  ///< original position (maps back to the file id)
+
+  /// Size-intensive ("ST(F)" in the paper): s >= l.
+  bool size_intensive() const { return s >= l; }
+  /// Heap key in the size heap: ~s = s - l.
+  double s_key() const { return s - l; }
+  /// Heap key in the load heap: ~l = l - s.
+  double l_key() const { return l - s; }
+};
+
+/// Result of an allocation: disk index per item, by item index.
+struct Assignment {
+  std::vector<std::uint32_t> disk_of; ///< indexed by Item::index
+  std::uint32_t disk_count = 0;
+};
+
+/// Per-disk totals of an assignment (for validation and reporting).
+struct DiskTotals {
+  double s = 0.0;
+  double l = 0.0;
+  std::uint32_t items = 0;
+};
+
+/// rho: the maximum coordinate over all items (the paper's packing bound
+/// parameter).  0 for an empty instance.
+double rho(std::span<const Item> items);
+
+/// Sum of sizes and loads across the instance.
+struct InstanceSums {
+  double total_s = 0.0;
+  double total_l = 0.0;
+};
+InstanceSums sums(std::span<const Item> items);
+
+/// Per-disk totals; disk_count entries.
+std::vector<DiskTotals> disk_totals(const Assignment& a,
+                                    std::span<const Item> items);
+
+/// Throws std::invalid_argument when any coordinate is outside [0, 1] or
+/// not finite — such an instance cannot be packed into unit disks.
+void validate_instance(std::span<const Item> items);
+
+/// True iff every item is assigned to a disk < disk_count and every disk
+/// satisfies both capacity constraints (<= 1 + eps).
+bool is_feasible(const Assignment& a, std::span<const Item> items,
+                 double eps = 1e-9);
+
+} // namespace spindown::core

@@ -1,0 +1,69 @@
+#include "core/maid.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace spindown::core {
+
+MaidPlacement build_maid(const workload::FileCatalog& catalog,
+                         std::uint32_t cache_disks, std::uint32_t data_disks,
+                         util::Bytes disk_capacity) {
+  if (data_disks == 0) {
+    throw std::invalid_argument{"build_maid: need at least one data disk"};
+  }
+  MaidPlacement out;
+  out.cache_disks = cache_disks;
+  out.total_disks = cache_disks + data_disks;
+  out.mapping.assign(catalog.size(), 0);
+
+  // Home placement on the data disks: sequential first-fit in id order
+  // (MAID keeps data where it landed; no popularity-aware reorganization).
+  {
+    std::vector<util::Bytes> used(data_disks, 0);
+    std::uint32_t cursor = 0;
+    for (const auto& f : catalog.files()) {
+      std::uint32_t tries = 0;
+      while (tries < data_disks &&
+             used[(cursor + tries) % data_disks] + f.size > disk_capacity) {
+        ++tries;
+      }
+      if (tries == data_disks) {
+        throw std::invalid_argument{
+            "build_maid: catalog does not fit on the data disks"};
+      }
+      cursor = (cursor + tries) % data_disks;
+      used[cursor] += f.size;
+      out.mapping[f.id] = cache_disks + cursor;
+    }
+  }
+
+  // Cache fill: hottest first, round-robin over cache disks by free space.
+  if (cache_disks > 0) {
+    std::vector<workload::FileId> by_popularity(catalog.size());
+    std::iota(by_popularity.begin(), by_popularity.end(), 0u);
+    std::stable_sort(by_popularity.begin(), by_popularity.end(),
+                     [&](workload::FileId a, workload::FileId b) {
+                       return catalog.by_id(a).popularity >
+                              catalog.by_id(b).popularity;
+                     });
+    std::vector<util::Bytes> used(cache_disks, 0);
+    for (const auto id : by_popularity) {
+      const auto& f = catalog.by_id(id);
+      // Emptiest cache disk; stop caching once the hottest pending file no
+      // longer fits anywhere (popularity beyond it is even smaller: still
+      // try, smaller files may fit — classic greedy knapsack by density
+      // would differ; MAID's published policy is popularity-ordered).
+      const auto d = static_cast<std::uint32_t>(std::distance(
+          used.begin(), std::min_element(used.begin(), used.end())));
+      if (used[d] + f.size > disk_capacity) continue;
+      used[d] += f.size;
+      out.mapping[id] = d;
+      out.cached_files.push_back(id);
+      out.cached_popularity += f.popularity;
+    }
+  }
+  return out;
+}
+
+} // namespace spindown::core

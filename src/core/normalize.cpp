@@ -1,0 +1,44 @@
+#include "core/normalize.h"
+
+#include <stdexcept>
+
+namespace spindown::core {
+
+double LoadModel::mu(util::Bytes bytes) const {
+  if (service_time) return service_time(bytes);
+  if (include_positioning) return disk.service_time(bytes);
+  return disk.transfer_time(bytes);
+}
+
+std::vector<Item> normalize(const workload::FileCatalog& catalog,
+                            const LoadModel& model) {
+  if (model.rate <= 0.0) throw std::invalid_argument{"LoadModel: rate must be > 0"};
+  if (model.load_fraction <= 0.0 || model.load_fraction > 1.0) {
+    throw std::invalid_argument{"LoadModel: load_fraction must be in (0, 1]"};
+  }
+  if (model.capacity_fraction <= 0.0 || model.capacity_fraction > 1.0) {
+    throw std::invalid_argument{"LoadModel: capacity_fraction must be in (0, 1]"};
+  }
+  const double usable_bytes =
+      model.capacity_fraction * static_cast<double>(model.disk.capacity);
+
+  std::vector<Item> items;
+  items.reserve(catalog.size());
+  for (const auto& f : catalog.files()) {
+    Item it;
+    it.index = f.id;
+    it.s = static_cast<double>(f.size) / usable_bytes;
+    // Fraction of the *allowed* service capacity L this file consumes.
+    it.l = model.rate * f.popularity * model.mu(f.size) / model.load_fraction;
+    items.push_back(it);
+  }
+  validate_instance(items);
+  return items;
+}
+
+Utilization utilization(std::span<const Item> items) {
+  const auto total = sums(items);
+  return Utilization{total.total_s, total.total_l};
+}
+
+} // namespace spindown::core

@@ -1,0 +1,195 @@
+#include "core/pack_audit.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace spindown::core {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Max-key pool with linear scans — deliberately naive (see header).
+struct Pool {
+  struct Elem {
+    double key;
+    std::uint32_t index;
+  };
+  std::vector<Elem> elems;
+
+  bool empty() const { return elems.empty(); }
+
+  std::uint32_t pop_max() {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < elems.size(); ++i) {
+      if (elems[i].key > elems[best].key ||
+          (elems[i].key == elems[best].key &&
+           elems[i].index < elems[best].index)) {
+        best = i;
+      }
+    }
+    const auto idx = elems[best].index;
+    elems.erase(elems.begin() + static_cast<std::ptrdiff_t>(best));
+    return idx;
+  }
+
+  void add(double key, std::uint32_t index) { elems.push_back({key, index}); }
+};
+
+[[noreturn]] void fail(const std::string& what) {
+  throw AuditFailure{"Pack_Disks audit: " + what};
+}
+
+} // namespace
+
+Assignment allocate_audited(std::span<const Item> items, AuditReport& report) {
+  validate_instance(items);
+  report = AuditReport{};
+  Assignment out;
+  out.disk_of.assign(items.size(), 0);
+  if (items.empty()) return out;
+
+  report.rho = rho(items);
+  const double threshold = 1.0 - report.rho;
+
+  Pool pool_s, pool_l;
+  for (const auto& it : items) {
+    if (it.size_intensive()) {
+      pool_s.add(it.s_key(), it.index);
+    } else {
+      pool_l.add(it.l_key(), it.index);
+    }
+  }
+
+  double S = 0.0, L = 0.0;
+  std::vector<std::uint32_t> s_list, l_list;
+
+  auto check_capacity = [&] {
+    if (S > 1.0 + kEps) fail("size total exceeded 1 on an open disk");
+    if (L > 1.0 + kEps) fail("load total exceeded 1 on an open disk");
+  };
+
+  auto complete = [&] { return S >= threshold - kEps && L >= threshold - kEps; };
+
+  auto close_disk = [&](bool must_be_complete) {
+    if (must_be_complete && !complete()) {
+      fail("Lemma 3/4 violated: post-eviction disk not complete (S=" +
+           std::to_string(S) + " L=" + std::to_string(L) + ")");
+    }
+    if (complete()) ++report.disks_closed_complete;
+    report.min_closed_fill = std::min(report.min_closed_fill, std::max(S, L));
+    for (const auto idx : s_list) out.disk_of[idx] = out.disk_count;
+    for (const auto idx : l_list) out.disk_of[idx] = out.disk_count;
+    ++out.disk_count;
+    S = L = 0.0;
+    s_list.clear();
+    l_list.clear();
+  };
+
+  while ((S >= L && !pool_l.empty()) || (S < L && !pool_s.empty())) {
+    ++report.steps;
+    if (S >= L) {
+      const auto j = pool_l.pop_max();
+      if (S + items[j].s > 1.0) {
+        // Lemma 1: s-list non-empty and its last element's key dominates
+        // the imbalance.
+        if (s_list.empty()) fail("Lemma 1 violated: s-list empty on overflow");
+        const auto k = s_list.back();
+        if (items[k].s_key() < S - L - kEps) {
+          fail("Lemma 1 violated: ~s_k < S(Di) - L(Di)");
+        }
+        ++report.lemma12_checks;
+        s_list.pop_back();
+        S -= items[k].s;
+        L -= items[k].l;
+        pool_s.add(items[k].s_key(), k);
+        l_list.push_back(j);
+        S += items[j].s;
+        L += items[j].l;
+        check_capacity();
+        ++report.evictions;
+        ++report.lemma34_checks;
+        close_disk(/*must_be_complete=*/true); // Lemma 3
+        continue;
+      }
+      l_list.push_back(j);
+      S += items[j].s;
+      L += items[j].l;
+      check_capacity();
+    } else {
+      const auto j = pool_s.pop_max();
+      if (L + items[j].l > 1.0) {
+        if (l_list.empty()) fail("Lemma 2 violated: l-list empty on overflow");
+        const auto k = l_list.back();
+        if (items[k].l_key() < L - S - kEps) {
+          fail("Lemma 2 violated: ~l_k < L(Di) - S(Di)");
+        }
+        ++report.lemma12_checks;
+        l_list.pop_back();
+        S -= items[k].s;
+        L -= items[k].l;
+        pool_l.add(items[k].l_key(), k);
+        s_list.push_back(j);
+        S += items[j].s;
+        L += items[j].l;
+        check_capacity();
+        ++report.evictions;
+        ++report.lemma34_checks;
+        close_disk(/*must_be_complete=*/true); // Lemma 4
+        continue;
+      }
+      s_list.push_back(j);
+      S += items[j].s;
+      L += items[j].l;
+      check_capacity();
+    }
+    if (complete()) close_disk(/*must_be_complete=*/true);
+  }
+
+  // Lemma 5: at most one of the heaps is non-empty after the main loop.
+  if (!pool_s.empty() && !pool_l.empty()) {
+    fail("Lemma 5 violated: both heaps non-empty after the main loop");
+  }
+
+  // Pack_Remaining (size side, then load side — at most one runs).
+  while (!pool_s.empty()) {
+    const auto j = pool_s.pop_max();
+    if (S + items[j].s > 1.0) close_disk(/*must_be_complete=*/false);
+    s_list.push_back(j);
+    S += items[j].s;
+    L += items[j].l;
+    check_capacity();
+    ++report.remaining_packed;
+  }
+  while (!pool_l.empty()) {
+    const auto j = pool_l.pop_max();
+    if (L + items[j].l > 1.0) close_disk(/*must_be_complete=*/false);
+    l_list.push_back(j);
+    S += items[j].s;
+    L += items[j].l;
+    check_capacity();
+    ++report.remaining_packed;
+  }
+  if (!s_list.empty() || !l_list.empty()) {
+    close_disk(/*must_be_complete=*/false);
+  }
+
+  // Lemma 6 / Theorem 1 case analysis: in each dimension count disks that
+  // miss the completeness threshold; at most one disk (the last of each
+  // phase) may be incomplete in the binding dimension.
+  const auto totals = disk_totals(out, items);
+  std::uint32_t under_both = 0;
+  for (const auto& d : totals) {
+    if (std::max(d.s, d.l) < threshold - kEps) ++under_both;
+  }
+  report.incomplete_disks = under_both;
+  if (under_both > 1) {
+    fail("Lemma 6 violated: " + std::to_string(under_both) +
+         " disks below the completeness threshold in both dimensions");
+  }
+  if (!is_feasible(out, items)) fail("final assignment infeasible");
+  return out;
+}
+
+} // namespace spindown::core

@@ -1,0 +1,54 @@
+// pack_audit.h — Pack_Disks with the paper's lemmas checked at runtime.
+//
+// The §3.1 correctness argument rests on invariants the production packer
+// only asserts in debug builds.  `allocate_audited` runs the identical
+// packing while verifying every one of them on every step, and reports how
+// often each was exercised:
+//
+//   * Lemma 1/2: on overflow, the evicted element's key dominates the
+//     disk's imbalance (S-L <= ~s_k, resp. L-S <= ~l_k), and the opposite
+//     list is non-empty;
+//   * Lemma 3/4: after an eviction-insertion the disk is complete
+//     (both totals in [1-rho, 1]);
+//   * step feasibility: totals never exceed 1 in either dimension;
+//   * Lemma 5/6: at the end, at most one disk is neither s- nor l-complete,
+//     and at most one heap survives the main loop;
+//   * Lemma 7's accounting: every element is removed from a heap at most
+//     (1 + closed disk count) times in total.
+//
+// Any violation throws AuditFailure (tests turn instances over this at
+// scale).  The audited packer is intentionally a separate, simpler
+// implementation (flat scans, no O(1) tricks) so it cross-checks the fast
+// one rather than sharing its bugs; equality of outputs is asserted by the
+// test suite.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "core/item.h"
+
+namespace spindown::core {
+
+class AuditFailure : public std::logic_error {
+public:
+  using std::logic_error::logic_error;
+};
+
+struct AuditReport {
+  std::uint64_t steps = 0;            ///< heap pops in the main loop
+  std::uint64_t evictions = 0;        ///< Lemma 1/2 events
+  std::uint64_t lemma12_checks = 0;   ///< eviction-key dominance verified
+  std::uint64_t lemma34_checks = 0;   ///< post-eviction completeness verified
+  std::uint64_t disks_closed_complete = 0;
+  std::uint64_t remaining_packed = 0; ///< items placed by Pack_Remaining
+  std::uint32_t incomplete_disks = 0; ///< must be <= 1 per dimension case
+  double min_closed_fill = 1.0;       ///< min over closed disks of max(S, L)
+  double rho = 0.0;
+};
+
+/// Pack with full invariant checking; throws AuditFailure on any violation.
+Assignment allocate_audited(std::span<const Item> items, AuditReport& report);
+
+} // namespace spindown::core

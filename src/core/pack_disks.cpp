@@ -1,0 +1,193 @@
+#include "core/pack_disks.h"
+
+#include <cassert>
+#include <vector>
+
+#include "util/binary_heap.h"
+
+namespace spindown::core {
+
+namespace {
+
+/// Heap element: key is ~s or ~l; ties broken toward the smaller index so
+/// the packing is deterministic.
+struct HeapElem {
+  double key;
+  std::uint32_t index;
+};
+struct LowerPriority {
+  bool operator()(const HeapElem& a, const HeapElem& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return a.index > b.index; // smaller index pops first among equal keys
+  }
+};
+using Heap = util::BinaryHeap<HeapElem, LowerPriority>;
+
+/// Mutable state of the disk currently being packed.
+struct OpenDisk {
+  double S = 0.0;
+  double L = 0.0;
+  std::vector<std::uint32_t> s_list; ///< members drawn from heap ~S, in order
+  std::vector<std::uint32_t> l_list; ///< members drawn from heap ~L, in order
+
+  bool empty() const { return s_list.empty() && l_list.empty(); }
+
+  void add_s(const Item& it) {
+    s_list.push_back(it.index);
+    S += it.s;
+    L += it.l;
+  }
+  void add_l(const Item& it) {
+    l_list.push_back(it.index);
+    S += it.s;
+    L += it.l;
+  }
+};
+
+class Packer {
+public:
+  explicit Packer(std::span<const Item> items) : items_(items) {
+    assignment_.disk_of.assign(items.size(), 0);
+    rho_ = rho(items);
+    std::vector<HeapElem> st, ld;
+    st.reserve(items.size());
+    for (const auto& it : items) {
+      if (it.size_intensive()) {
+        st.push_back(HeapElem{it.s_key(), it.index});
+      } else {
+        ld.push_back(HeapElem{it.l_key(), it.index});
+      }
+    }
+    heap_s_ = Heap{std::move(st)};
+    heap_l_ = Heap{std::move(ld)};
+  }
+
+  Assignment run(std::uint64_t& evictions_out) {
+    main_loop(evictions_out);
+    pack_remaining_s();
+    pack_remaining_l();
+    if (!disk_.empty()) close_disk();
+    return std::move(assignment_);
+  }
+
+private:
+  bool complete() const {
+    const double threshold = 1.0 - rho_;
+    return disk_.S >= threshold && disk_.L >= threshold;
+  }
+
+  void close_disk() {
+    for (auto idx : disk_.s_list) assignment_.disk_of[idx] = assignment_.disk_count;
+    for (auto idx : disk_.l_list) assignment_.disk_of[idx] = assignment_.disk_count;
+    ++assignment_.disk_count;
+    disk_ = OpenDisk{};
+  }
+
+  void main_loop(std::uint64_t& evictions) {
+    evictions = 0;
+    while ((disk_.S >= disk_.L && !heap_l_.empty()) ||
+           (disk_.S < disk_.L && !heap_s_.empty())) {
+      if (disk_.S >= disk_.L) {
+        // Disk dominated by size: draw the most load-intensive item.
+        const auto e = heap_l_.pop();
+        const Item& j = items_[e.index];
+        if (disk_.S + j.s > 1.0) {
+          // Overflow in the dominated dimension: evict the most recent
+          // s-side member (O(1) via s-list; Lemma 1 guarantees it exists
+          // and is big enough) and close — Lemma 3 proves completeness.
+          assert(!disk_.s_list.empty());
+          if (disk_.s_list.empty()) {
+            // Defensive fallback (unreachable if the lemmas hold): close
+            // the full disk and retry the item on a fresh one.
+            close_disk();
+            disk_.add_l(j);
+            continue;
+          }
+          const auto k = disk_.s_list.back();
+          disk_.s_list.pop_back();
+          disk_.S -= items_[k].s;
+          disk_.L -= items_[k].l;
+          heap_s_.push(HeapElem{items_[k].s_key(), k});
+          disk_.add_l(j);
+          // Post-eviction fit is guaranteed by Lemma 1's key bound.
+          assert(disk_.S <= 1.0 + 1e-12 && disk_.L <= 1.0 + 1e-12);
+          ++evictions;
+          close_disk(); // complete by Lemma 3
+          continue;
+        }
+        disk_.add_l(j);
+        // Load cannot overflow here: if it did, the disk would have been
+        // complete before the insertion (see header discussion).
+        assert(disk_.L <= 1.0 + 1e-12);
+      } else {
+        // Disk dominated by load: draw the most size-intensive item.
+        const auto e = heap_s_.pop();
+        const Item& j = items_[e.index];
+        if (disk_.L + j.l > 1.0) {
+          assert(!disk_.l_list.empty());
+          if (disk_.l_list.empty()) {
+            close_disk();
+            disk_.add_s(j);
+            continue;
+          }
+          const auto k = disk_.l_list.back();
+          disk_.l_list.pop_back();
+          disk_.S -= items_[k].s;
+          disk_.L -= items_[k].l;
+          heap_l_.push(HeapElem{items_[k].l_key(), k});
+          disk_.add_s(j);
+          assert(disk_.S <= 1.0 + 1e-12 && disk_.L <= 1.0 + 1e-12);
+          ++evictions;
+          close_disk(); // complete by Lemma 4
+          continue;
+        }
+        disk_.add_s(j);
+        assert(disk_.S <= 1.0 + 1e-12);
+      }
+      if (complete()) close_disk();
+    }
+  }
+
+  void pack_remaining_s() {
+    // Leftover items are all size-intensive; the current disk satisfies
+    // S >= L (loop exit condition), so load can never overflow here —
+    // asserted below.
+    while (!heap_s_.empty()) {
+      const auto e = heap_s_.pop();
+      const Item& j = items_[e.index];
+      if (disk_.S + j.s > 1.0) close_disk();
+      disk_.add_s(j);
+      assert(disk_.L <= disk_.S + 1e-12);
+      assert(disk_.L <= 1.0 + 1e-12);
+    }
+  }
+
+  void pack_remaining_l() {
+    while (!heap_l_.empty()) {
+      const auto e = heap_l_.pop();
+      const Item& j = items_[e.index];
+      if (disk_.L + j.l > 1.0) close_disk();
+      disk_.add_l(j);
+      assert(disk_.S <= disk_.L + 1e-12);
+      assert(disk_.S <= 1.0 + 1e-12);
+    }
+  }
+
+  std::span<const Item> items_;
+  double rho_ = 0.0;
+  Heap heap_s_;
+  Heap heap_l_;
+  OpenDisk disk_;
+  Assignment assignment_;
+};
+
+} // namespace
+
+Assignment PackDisks::allocate(std::span<const Item> items) {
+  validate_instance(items);
+  if (items.empty()) return Assignment{};
+  Packer packer{items};
+  return packer.run(evictions_);
+}
+
+} // namespace spindown::core

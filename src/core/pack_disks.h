@@ -1,0 +1,49 @@
+// pack_disks.h — the paper's core algorithm (§3.1, Algorithm 3).
+//
+// Pack_Disks is an O(n log n) approximation for two-dimensional vector
+// packing with guarantee  C_PD <= C*/(1 - rho) + 1  (Theorem 1), where rho
+// bounds every item coordinate.
+//
+// Mechanics, following the pseudocode:
+//   * items are split into the size-intensive set ST (s >= l) keyed by
+//     ~s = s - l, and the load-intensive set LD (l > s) keyed by ~l = l - s;
+//     each set becomes a max-heap (O(n) build);
+//   * the current disk balances itself: when its size total dominates
+//     (S >= L) it draws the most load-intensive remaining item, and vice
+//     versa;
+//   * if the drawn item would overflow the dominating dimension, the last
+//     element added from the *other* heap's side is evicted back to its heap
+//     (an O(1) operation thanks to the per-disk s-list / l-list — the
+//     paper's improvement over Chang–Hwang–Park's O(n) search), the item is
+//     inserted, and the disk is provably complete (Lemmas 3/4) and closed;
+//   * a disk is also closed as soon as it is "complete": both totals within
+//     [1 - rho, 1];
+//   * when one heap empties, Pack_Remaining packs the leftovers of the other
+//     heap by its own dimension only (the other dimension provably cannot
+//     overflow, asserted in the implementation).
+//
+// Ties between equal heap keys are broken toward the smaller item index so
+// the packing is deterministic and bit-identical to the O(n^2) reference
+// implementation (chang_reference.h), which the tests exploit.
+#pragma once
+
+#include "core/allocator.h"
+
+namespace spindown::core {
+
+class PackDisks final : public Allocator {
+public:
+  PackDisks() = default;
+
+  Assignment allocate(std::span<const Item> items) override;
+  std::string name() const override { return "pack_disks"; }
+
+  /// Number of evictions performed in the last allocate() call (each closes
+  /// a disk; exposed for tests of Lemmas 3/4).
+  std::uint64_t last_evictions() const { return evictions_; }
+
+private:
+  std::uint64_t evictions_ = 0;
+};
+
+} // namespace spindown::core

@@ -1,0 +1,237 @@
+#include "core/pack_grouped.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "util/binary_heap.h"
+
+namespace spindown::core {
+
+namespace {
+
+struct HeapElem {
+  double key;
+  std::uint32_t index;
+};
+struct LowerPriority {
+  bool operator()(const HeapElem& a, const HeapElem& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return a.index > b.index;
+  }
+};
+using Heap = util::BinaryHeap<HeapElem, LowerPriority>;
+
+struct OpenDisk {
+  double S = 0.0;
+  double L = 0.0;
+  std::vector<std::uint32_t> s_list;
+  std::vector<std::uint32_t> l_list;
+  bool closed = false;
+
+  bool empty() const { return s_list.empty() && l_list.empty(); }
+  void add_s(const Item& it) {
+    s_list.push_back(it.index);
+    S += it.s;
+    L += it.l;
+  }
+  void add_l(const Item& it) {
+    l_list.push_back(it.index);
+    S += it.s;
+    L += it.l;
+  }
+};
+
+class GroupPacker {
+public:
+  GroupPacker(std::span<const Item> items, std::size_t v)
+      : items_(items), v_(v) {
+    assignment_.disk_of.assign(items.size(), 0);
+    rho_ = rho(items);
+    std::vector<HeapElem> st, ld;
+    for (const auto& it : items) {
+      if (it.size_intensive()) {
+        st.push_back(HeapElem{it.s_key(), it.index});
+      } else {
+        ld.push_back(HeapElem{it.l_key(), it.index});
+      }
+    }
+    heap_s_ = Heap{std::move(st)};
+    heap_l_ = Heap{std::move(ld)};
+    open_group();
+  }
+
+  Assignment run() {
+    main_loop();
+    pack_remaining(heap_s_, /*size_side=*/true);
+    pack_remaining(heap_l_, /*size_side=*/false);
+    flush_group();
+    return std::move(assignment_);
+  }
+
+private:
+  void open_group() {
+    group_.assign(v_, OpenDisk{});
+    cursor_ = 0;
+  }
+
+  void seal(OpenDisk& d) {
+    if (d.closed) return;
+    d.closed = true;
+    if (d.empty()) return; // an untouched disk costs nothing
+    for (auto idx : d.s_list) assignment_.disk_of[idx] = assignment_.disk_count;
+    for (auto idx : d.l_list) assignment_.disk_of[idx] = assignment_.disk_count;
+    ++assignment_.disk_count;
+  }
+
+  void flush_group() {
+    for (auto& d : group_) seal(d);
+  }
+
+  bool all_closed() const {
+    for (const auto& d : group_) {
+      if (!d.closed) return false;
+    }
+    return true;
+  }
+
+  /// Advance the cursor to the next open disk; opens a new group if none.
+  OpenDisk& next_open_disk() {
+    if (all_closed()) open_group();
+    for (std::size_t step = 0; step < v_; ++step) {
+      auto& d = group_[cursor_ % v_];
+      ++cursor_;
+      if (!d.closed) return d;
+    }
+    // all_closed() was false, so a scan of v disks must find one.
+    throw std::logic_error{"PackDisksGrouped: cursor found no open disk"};
+  }
+
+  bool complete(const OpenDisk& d) const {
+    const double threshold = 1.0 - rho_;
+    return d.S >= threshold && d.L >= threshold;
+  }
+
+  /// One Pack_Disks step applied to disk d.  Returns false when the heap d
+  /// wants to draw from is empty (main loop ends for this disk).
+  bool step(OpenDisk& d) {
+    if (d.S >= d.L) {
+      if (heap_l_.empty()) return false;
+      const auto e = heap_l_.pop();
+      const Item& j = items_[e.index];
+      if (d.S + j.s > 1.0) {
+        assert(!d.s_list.empty());
+        const auto k = d.s_list.back();
+        d.s_list.pop_back();
+        d.S -= items_[k].s;
+        d.L -= items_[k].l;
+        heap_s_.push(HeapElem{items_[k].s_key(), k});
+        d.add_l(j);
+        seal(d);
+        return true;
+      }
+      d.add_l(j);
+    } else {
+      if (heap_s_.empty()) return false;
+      const auto e = heap_s_.pop();
+      const Item& j = items_[e.index];
+      if (d.L + j.l > 1.0) {
+        assert(!d.l_list.empty());
+        const auto k = d.l_list.back();
+        d.l_list.pop_back();
+        d.S -= items_[k].s;
+        d.L -= items_[k].l;
+        heap_l_.push(HeapElem{items_[k].l_key(), k});
+        d.add_s(j);
+        seal(d);
+        return true;
+      }
+      d.add_s(j);
+    }
+    if (complete(d)) seal(d);
+    return true;
+  }
+
+  void main_loop() {
+    // The loop ends when every open disk's preferred heap is empty; disks
+    // whose step() fails are skipped (their leftovers are handled by
+    // pack_remaining), and termination is guaranteed because each
+    // successful step consumes one heap element or closes a disk.
+    std::size_t stalled = 0;
+    while (!(heap_s_.empty() && heap_l_.empty()) && stalled < v_) {
+      auto& d = next_open_disk();
+      if (step(d)) {
+        stalled = 0;
+      } else {
+        ++stalled;
+      }
+    }
+  }
+
+  void pack_remaining(Heap& heap, bool size_side) {
+    while (!heap.empty()) {
+      const auto e = heap.pop();
+      const Item& j = items_[e.index];
+      // Try every open disk starting at the cursor; close disks the item
+      // does not fit (Pack_Remaining's "start a new disk" in group form).
+      bool placed = false;
+      for (std::size_t attempt = 0; attempt < v_ && !placed; ++attempt) {
+        auto& d = next_open_disk();
+        const bool fits = size_side ? (d.S + j.s <= 1.0) : (d.L + j.l <= 1.0);
+        const bool fits_other =
+            size_side ? (d.L + j.l <= 1.0) : (d.S + j.s <= 1.0);
+        if (fits && fits_other) {
+          if (size_side) {
+            d.add_s(j);
+          } else {
+            d.add_l(j);
+          }
+          placed = true;
+        } else {
+          seal(d);
+        }
+      }
+      if (!placed) {
+        // No open disk could take it: fresh group, first disk.
+        flush_group();
+        open_group();
+        auto& d = next_open_disk();
+        if (size_side) {
+          d.add_s(j);
+        } else {
+          d.add_l(j);
+        }
+      }
+    }
+  }
+
+  std::span<const Item> items_;
+  std::size_t v_;
+  double rho_ = 0.0;
+  Heap heap_s_;
+  Heap heap_l_;
+  std::vector<OpenDisk> group_;
+  std::size_t cursor_ = 0;
+  Assignment assignment_;
+};
+
+} // namespace
+
+PackDisksGrouped::PackDisksGrouped(std::size_t group_size) : v_(group_size) {
+  if (group_size == 0) {
+    throw std::invalid_argument{"PackDisksGrouped: group size must be >= 1"};
+  }
+}
+
+std::string PackDisksGrouped::name() const {
+  return "pack_disks_" + std::to_string(v_);
+}
+
+Assignment PackDisksGrouped::allocate(std::span<const Item> items) {
+  validate_instance(items);
+  if (items.empty()) return Assignment{};
+  GroupPacker packer{items, v_};
+  return packer.run();
+}
+
+} // namespace spindown::core

@@ -1,0 +1,61 @@
+#include "core/queueing.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace spindown::core {
+
+FarmQueueing predict_mg1(const workload::FileCatalog& catalog,
+                         const Assignment& assignment,
+                         const LoadModel& model) {
+  if (assignment.disk_of.size() < catalog.size()) {
+    throw std::invalid_argument{"predict_mg1: assignment smaller than catalog"};
+  }
+  FarmQueueing out;
+  out.disks.assign(assignment.disk_count, DiskQueueing{});
+
+  // First and second moments of the per-disk service mixture:
+  //   lambda_d = R * sum(p_i),   E[S^k] = sum(p_i * mu_i^k) / sum(p_i).
+  std::vector<double> p_sum(assignment.disk_count, 0.0);
+  std::vector<double> s1(assignment.disk_count, 0.0);
+  std::vector<double> s2(assignment.disk_count, 0.0);
+  for (const auto& f : catalog.files()) {
+    const auto d = assignment.disk_of[f.id];
+    if (d >= assignment.disk_count) {
+      throw std::invalid_argument{"predict_mg1: mapping references bad disk"};
+    }
+    const double mu = model.mu(f.size);
+    p_sum[d] += f.popularity;
+    s1[d] += f.popularity * mu;
+    s2[d] += f.popularity * mu * mu;
+  }
+
+  double weighted_response = 0.0;
+  double total_p = 0.0;
+  for (std::uint32_t d = 0; d < assignment.disk_count; ++d) {
+    auto& q = out.disks[d];
+    if (p_sum[d] <= 0.0) continue; // stores data, sees no traffic
+    q.arrival_rate = model.rate * p_sum[d];
+    q.mean_service = s1[d] / p_sum[d];
+    const double es2 = s2[d] / p_sum[d];
+    q.utilization = q.arrival_rate * q.mean_service;
+    out.max_utilization = std::max(out.max_utilization, q.utilization);
+    if (q.utilization >= 1.0) {
+      q.stable = false;
+      q.mean_wait = std::numeric_limits<double>::infinity();
+      q.mean_response = std::numeric_limits<double>::infinity();
+      out.stable = false;
+    } else {
+      q.mean_wait = q.arrival_rate * es2 / (2.0 * (1.0 - q.utilization));
+      q.mean_response = q.mean_wait + q.mean_service;
+    }
+    weighted_response += p_sum[d] * q.mean_response;
+    total_p += p_sum[d];
+  }
+  out.mean_response =
+      total_p > 0.0 ? weighted_response / total_p
+                    : 0.0; // no traffic anywhere
+  return out;
+}
+
+} // namespace spindown::core

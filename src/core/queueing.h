@@ -1,0 +1,53 @@
+// queueing.h — analytical response-time prediction for a placement.
+//
+// The paper's load constraint L bounds utilization, which bounds queueing
+// delay; its conclusions pitch the method as "a tool for obtaining reliable
+// estimates on the size of a disk farm needed to support a given workload
+// ... while satisfying constraints on I/O response times".  This module is
+// that estimator in closed form: each disk is an M/G/1 queue (Poisson
+// arrivals split by the mapping; service time a discrete mixture over the
+// disk's files), so the Pollaczek–Khinchine formula gives the mean wait
+//
+//   W_q = lambda * E[S^2] / (2 * (1 - rho)),   rho = lambda * E[S]
+//
+// and the request-weighted average over disks predicts the farm's mean
+// response time without running the simulator.  Valid for spun-up disks
+// (no spin-up penalties) and rho < 1; the capacity-planning example pairs
+// the prediction with a simulation column so the error is visible.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/item.h"
+#include "core/normalize.h"
+#include "workload/catalog.h"
+
+namespace spindown::core {
+
+/// Per-disk M/G/1 prediction.
+struct DiskQueueing {
+  double arrival_rate = 0.0; ///< lambda_d, requests/second
+  double utilization = 0.0;  ///< rho_d = lambda_d * E[S]
+  double mean_service = 0.0; ///< E[S], seconds
+  double mean_wait = 0.0;    ///< W_q; infinity when rho >= 1
+  double mean_response = 0.0;///< W_q + E[S]
+  bool stable = true;        ///< rho < 1
+};
+
+struct FarmQueueing {
+  std::vector<DiskQueueing> disks;
+  /// Request-weighted mean response over all disks (infinity if any disk
+  /// carrying traffic is unstable).
+  double mean_response = 0.0;
+  double max_utilization = 0.0;
+  bool stable = true;
+};
+
+/// Predict queueing behaviour of `assignment` under the load model (the
+/// model supplies R and the service-time function; its L only affected the
+/// packing).  Files with zero popularity contribute storage but no traffic.
+FarmQueueing predict_mg1(const workload::FileCatalog& catalog,
+                         const Assignment& assignment, const LoadModel& model);
+
+} // namespace spindown::core

@@ -1,0 +1,54 @@
+#include "core/random_alloc.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace spindown::core {
+
+RandomAllocator::RandomAllocator(std::uint32_t num_disks, std::uint64_t seed)
+    : num_disks_(num_disks), seed_(seed) {
+  if (num_disks == 0) {
+    throw std::invalid_argument{"RandomAllocator: need at least one disk"};
+  }
+}
+
+Assignment RandomAllocator::allocate(std::span<const Item> items) {
+  validate_instance(items);
+  util::Rng rng{seed_};
+  Assignment out;
+  out.disk_of.assign(items.size(), 0);
+  out.disk_count = num_disks_;
+
+  std::vector<double> used_s(num_disks_, 0.0);
+  constexpr int kMaxTries = 64;
+
+  for (const auto& it : items) {
+    bool placed = false;
+    for (int attempt = 0; attempt < kMaxTries && !placed; ++attempt) {
+      const auto d =
+          static_cast<std::uint32_t>(rng.uniform_int(0, num_disks_ - 1));
+      if (used_s[d] + it.s <= 1.0) {
+        out.disk_of[it.index] = d;
+        used_s[d] += it.s;
+        placed = true;
+      }
+    }
+    if (!placed) {
+      // Rejection budget exhausted (disks nearly full): emptiest disk.
+      const auto d = static_cast<std::uint32_t>(std::distance(
+          used_s.begin(), std::min_element(used_s.begin(), used_s.end())));
+      if (used_s[d] + it.s > 1.0) {
+        throw std::runtime_error{
+            "RandomAllocator: instance does not fit in the given disks"};
+      }
+      out.disk_of[it.index] = d;
+      used_s[d] += it.s;
+    }
+  }
+  return out;
+}
+
+} // namespace spindown::core

@@ -1,0 +1,143 @@
+#include "core/reorganizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "core/pack_disks.h"
+
+namespace spindown::core {
+
+Reorganizer::Reorganizer(LoadModel model) : model_(std::move(model)) {}
+
+Assignment relabel_for_overlap(const Assignment& current,
+                               const Assignment& next,
+                               const workload::FileCatalog& catalog) {
+  // Overlap weight in bytes between each (new disk, old disk) pair.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, util::Bytes> overlap;
+  for (const auto& f : catalog.files()) {
+    if (f.id >= next.disk_of.size() || f.id >= current.disk_of.size()) continue;
+    overlap[{next.disk_of[f.id], current.disk_of[f.id]}] += f.size;
+  }
+
+  // Greedy maximum-weight matching: repeatedly bind the heaviest remaining
+  // (new, old) pair.  Near-optimal here because overlaps are dominated by
+  // the "disk did not change" diagonal.
+  std::vector<std::tuple<util::Bytes, std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(overlap.size());
+  for (const auto& [key, bytes] : overlap) {
+    edges.emplace_back(bytes, key.first, key.second);
+  }
+  std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) > std::get<0>(b);
+    if (std::get<1>(a) != std::get<1>(b)) return std::get<1>(a) < std::get<1>(b);
+    return std::get<2>(a) < std::get<2>(b);
+  });
+
+  constexpr auto kUnset = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> label_of_new(next.disk_count, kUnset);
+  std::vector<bool> old_taken(
+      std::max<std::size_t>(current.disk_count, next.disk_count), false);
+  for (const auto& [bytes, nd, od] : edges) {
+    if (label_of_new[nd] != kUnset || od >= old_taken.size() || old_taken[od]) {
+      continue;
+    }
+    label_of_new[nd] = od;
+    old_taken[od] = true;
+  }
+  // Unmatched new disks get the lowest free labels.
+  std::uint32_t cursor = 0;
+  for (auto& label : label_of_new) {
+    if (label != kUnset) continue;
+    while (cursor < old_taken.size() && old_taken[cursor]) ++cursor;
+    if (cursor < old_taken.size()) {
+      label = cursor;
+      old_taken[cursor] = true;
+    } else {
+      label = static_cast<std::uint32_t>(old_taken.size());
+      old_taken.push_back(true);
+    }
+  }
+
+  Assignment relabeled;
+  relabeled.disk_of.resize(next.disk_of.size());
+  std::uint32_t max_label = 0;
+  for (std::size_t i = 0; i < next.disk_of.size(); ++i) {
+    relabeled.disk_of[i] = label_of_new[next.disk_of[i]];
+    max_label = std::max(max_label, relabeled.disk_of[i]);
+  }
+  relabeled.disk_count = next.disk_of.empty() ? 0 : max_label + 1;
+  return relabeled;
+}
+
+MigrationPlan Reorganizer::plan(const workload::FileCatalog& catalog,
+                                std::span<const std::uint64_t> observed_counts,
+                                double window_s, const Assignment& current) {
+  if (observed_counts.size() != catalog.size()) {
+    throw std::invalid_argument{"Reorganizer: counts/catalog size mismatch"};
+  }
+  if (window_s <= 0.0) {
+    throw std::invalid_argument{"Reorganizer: window must be positive"};
+  }
+
+  std::uint64_t total = 0;
+  std::uint64_t min_nonzero = std::numeric_limits<std::uint64_t>::max();
+  for (const auto c : observed_counts) {
+    total += c;
+    if (c > 0) min_nonzero = std::min(min_nonzero, c);
+  }
+  if (total == 0) {
+    throw std::invalid_argument{"Reorganizer: window saw no accesses"};
+  }
+
+  // Popularity floor for cold files: half the smallest observed mass.
+  const double floor_mass = 0.5 * static_cast<double>(min_nonzero);
+  std::vector<workload::FileInfo> files = catalog.files();
+  double mass_sum = 0.0;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const double mass = observed_counts[i] > 0
+                            ? static_cast<double>(observed_counts[i])
+                            : floor_mass;
+    files[i].popularity = mass;
+    mass_sum += mass;
+  }
+  for (auto& f : files) f.popularity /= mass_sum;
+
+  LoadModel model = model_;
+  model.rate = static_cast<double>(total) / window_s;
+
+  // Sampling noise can over-estimate a large file's popularity enough that
+  // its implied load exceeds one disk's service capacity, which no
+  // allocation can satisfy (the paper assumes every item fits, rho < 1).
+  // Clamp such estimates to 95% of a disk's capacity; a file persistently
+  // hitting the clamp needs replication, which is outside the paper's
+  // model.  The clamp only ever lowers load, so feasibility is preserved.
+  for (auto& f : files) {
+    const double mu = model.mu(f.size);
+    if (mu <= 0.0) continue;
+    const double cap = 0.95 * model.load_fraction / (model.rate * mu);
+    if (f.popularity > cap) f.popularity = cap;
+  }
+  const workload::FileCatalog observed_catalog{std::move(files)};
+
+  const auto items = normalize(observed_catalog, model);
+  PackDisks packer;
+  const auto fresh = packer.allocate(items);
+
+  MigrationPlan out;
+  out.disks_before = current.disk_count;
+  out.disks_after = fresh.disk_count;
+  out.estimated_rate = model.rate;
+  out.next = relabel_for_overlap(current, fresh, catalog);
+  for (const auto& f : catalog.files()) {
+    if (f.id < current.disk_of.size() &&
+        out.next.disk_of[f.id] != current.disk_of[f.id]) {
+      out.moved.push_back(f.id);
+      out.bytes_moved += f.size;
+    }
+  }
+  return out;
+}
+
+} // namespace spindown::core

@@ -1,0 +1,57 @@
+// reorganizer.h — semi-dynamic reallocation (§1: "accumulating access
+// statistics over periodic intervals and performing reorganization of file
+// allocations"; §6 lists migration as future work).
+//
+// The Reorganizer consumes a window of observed per-file access counts,
+// re-estimates popularities and the request rate, re-packs with Pack_Disks,
+// and then relabels the new disks to maximize byte overlap with the current
+// placement (greedy maximum-weight matching) so that the migration moves as
+// few bytes as possible.  The output is a migration plan: the relabeled
+// assignment plus the list of files that must move and their total size.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/item.h"
+#include "core/normalize.h"
+#include "workload/catalog.h"
+
+namespace spindown::core {
+
+struct MigrationPlan {
+  Assignment next;                     ///< relabeled to overlap the old map
+  std::vector<std::uint32_t> moved;    ///< file ids that change disks
+  util::Bytes bytes_moved = 0;
+  std::uint32_t disks_before = 0;
+  std::uint32_t disks_after = 0;
+  double estimated_rate = 0.0;         ///< observed requests/second
+};
+
+class Reorganizer {
+public:
+  /// The model's `rate` field is ignored: the observed rate of each window
+  /// is used instead.
+  explicit Reorganizer(LoadModel model);
+
+  /// Plan a reorganization.  `observed_counts[i]` is the number of accesses
+  /// of file i during the window of `window_s` seconds; `current` is the
+  /// live placement (disk_of indexed by file id).  Files with zero observed
+  /// accesses receive a popularity floor (half the smallest observed
+  /// probability) so they remain packable.
+  MigrationPlan plan(const workload::FileCatalog& catalog,
+                     std::span<const std::uint64_t> observed_counts,
+                     double window_s, const Assignment& current);
+
+private:
+  LoadModel model_;
+};
+
+/// Relabel `next`'s disks to maximize the total byte-overlap with `current`
+/// (greedy on pairwise overlap weight).  Exposed for testing.
+Assignment relabel_for_overlap(const Assignment& current,
+                               const Assignment& next,
+                               const workload::FileCatalog& catalog);
+
+} // namespace spindown::core

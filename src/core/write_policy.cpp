@@ -1,0 +1,55 @@
+#include "core/write_policy.h"
+
+#include <stdexcept>
+
+namespace spindown::core {
+
+WritePlacer::WritePlacer(std::uint32_t num_disks, util::Bytes disk_capacity,
+                         FitRule rule)
+    : capacity_(disk_capacity), used_(num_disks, 0), rule_(rule) {
+  if (num_disks == 0) {
+    throw std::invalid_argument{"WritePlacer: need at least one disk"};
+  }
+}
+
+void WritePlacer::add_used(std::uint32_t disk, util::Bytes bytes) {
+  used_.at(disk) += bytes;
+  if (used_[disk] > capacity_) {
+    throw std::invalid_argument{"WritePlacer: disk over capacity"};
+  }
+}
+
+util::Bytes WritePlacer::free_on(std::uint32_t disk) const {
+  return capacity_ - used_.at(disk);
+}
+
+std::optional<std::uint32_t> WritePlacer::pick(
+    util::Bytes size, const std::vector<bool>& spinning,
+    bool want_spinning) const {
+  std::optional<std::uint32_t> best;
+  util::Bytes best_slack = 0;
+  for (std::uint32_t d = 0; d < used_.size(); ++d) {
+    const bool is_spinning = d < spinning.size() && spinning[d];
+    if (is_spinning != want_spinning) continue;
+    if (used_[d] + size > capacity_) continue;
+    if (rule_ == FitRule::kFirstFit) return d;
+    const util::Bytes slack = capacity_ - used_[d] - size;
+    if (!best.has_value() || slack < best_slack) {
+      best = d;
+      best_slack = slack;
+    }
+  }
+  return best;
+}
+
+std::optional<std::uint32_t> WritePlacer::place(
+    util::Bytes size, const std::vector<bool>& spinning) {
+  auto target = pick(size, spinning, /*want_spinning=*/true);
+  if (!target.has_value()) {
+    target = pick(size, spinning, /*want_spinning=*/false);
+  }
+  if (target.has_value()) used_[*target] += size;
+  return target;
+}
+
+} // namespace spindown::core

@@ -1,0 +1,47 @@
+// write_policy.h — energy-friendly write placement (§1.1).
+//
+// The paper's experiments are read-only, but §1.1 prescribes the write path:
+// "write files into an already spinning disk if sufficient space is found on
+// it or write it into any other disk (using best-fit or first-fit policy)",
+// leaving relocation to the next reorganization.  WritePlacer implements
+// exactly that: it tracks per-disk free space and picks a target for each
+// incoming write, preferring spinning disks so no spin-up is paid.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/units.h"
+
+namespace spindown::core {
+
+enum class FitRule { kFirstFit, kBestFit };
+
+class WritePlacer {
+public:
+  WritePlacer(std::uint32_t num_disks, util::Bytes disk_capacity, FitRule rule);
+
+  /// Account existing usage (e.g. from the read catalog's allocation).
+  void add_used(std::uint32_t disk, util::Bytes bytes);
+
+  util::Bytes free_on(std::uint32_t disk) const;
+
+  /// Choose a disk for a `size`-byte write given which disks are currently
+  /// spinning.  Spinning disks are preferred; within a class the FitRule
+  /// decides.  Returns nullopt when no disk has room.
+  /// The returned disk's usage is immediately updated.
+  std::optional<std::uint32_t> place(util::Bytes size,
+                                     const std::vector<bool>& spinning);
+
+private:
+  std::optional<std::uint32_t> pick(util::Bytes size,
+                                    const std::vector<bool>& spinning,
+                                    bool want_spinning) const;
+
+  util::Bytes capacity_;
+  std::vector<util::Bytes> used_;
+  FitRule rule_;
+};
+
+} // namespace spindown::core

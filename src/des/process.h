@@ -1,0 +1,128 @@
+// process.h — SimPy-style coroutine processes on top of the event kernel.
+//
+// A Process is a C++20 coroutine that models an active entity:
+//
+//   des::Process customer(des::Simulation& sim, Disk& d) {
+//     co_await des::delay(sim, 5.0);      // like SimPy's `yield env.timeout`
+//     co_await d.queue().acquire(sim);    // FCFS resource (resource.h)
+//     ...
+//   }
+//   des::spawn(sim, customer(sim, disk));
+//
+// Lifetime model: the coroutine frame owns itself once spawned.  Final
+// suspend never suspends, so the frame is destroyed automatically when the
+// body finishes; all awaitables schedule resumption through the Simulation
+// calendar, so resumption order is exactly event order (deterministic).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "des/simulation.h"
+
+namespace spindown::des {
+
+/// Coroutine task type for simulation processes.  Processes are fire-and-
+/// forget: spawn() hands the frame to the simulation and returns.
+class Process {
+public:
+  struct promise_type {
+    Process get_return_object() {
+      return Process{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    // Suspend at the start so spawn() controls when the body first runs.
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // Never suspend at the end: the frame frees itself on completion.
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    [[noreturn]] void unhandled_exception() {
+      // An escaping exception inside a simulation process is a model bug;
+      // the simulation state is unrecoverable, so fail fast.
+      std::terminate();
+    }
+  };
+
+  Process(Process&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  Process& operator=(Process&&) = delete;
+
+  ~Process() {
+    // Only reached if the process was never spawned.
+    if (handle_) handle_.destroy();
+  }
+
+private:
+  friend void spawn(Simulation& sim, Process p);
+  explicit Process(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Start a process: its body begins executing at the current simulation time
+/// (as a scheduled event, not inline, so spawning inside a running event
+/// keeps FIFO ordering).
+inline void spawn(Simulation& sim, Process p) {
+  const auto h = std::exchange(p.handle_, nullptr);
+  sim.schedule_in(0.0, [h] { h.resume(); });
+}
+
+/// Awaitable: suspend the process for `dt` simulated seconds.
+class DelayAwaiter {
+public:
+  DelayAwaiter(Simulation& sim, SimTime dt) : sim_(sim), dt_(dt) {}
+  bool await_ready() const noexcept { return dt_ == 0.0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    sim_.schedule_in(dt_, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+private:
+  Simulation& sim_;
+  SimTime dt_;
+};
+
+inline DelayAwaiter delay(Simulation& sim, SimTime dt) { return {sim, dt}; }
+
+/// One-shot broadcast event (SimPy's `Event`): processes wait, someone fires.
+/// After firing, waits complete immediately.
+class Trigger {
+public:
+  class Awaiter {
+  public:
+    Awaiter(Simulation& sim, Trigger& t) : sim_(sim), trigger_(t) {}
+    bool await_ready() const noexcept { return trigger_.fired_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      trigger_.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+
+  private:
+    Simulation& sim_;
+    Trigger& trigger_;
+  };
+
+  /// Awaitable that completes when fire() is called.
+  Awaiter wait(Simulation& sim) { return Awaiter{sim, *this}; }
+
+  /// Fire the trigger: all current waiters resume (in wait order) at the
+  /// current simulation time.
+  void fire(Simulation& sim) {
+    if (fired_) return;
+    fired_ = true;
+    for (auto h : waiters_) {
+      sim.schedule_in(0.0, [h] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  bool fired() const { return fired_; }
+
+private:
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+} // namespace spindown::des

@@ -1,0 +1,32 @@
+#include "des/resource.h"
+
+#include <stdexcept>
+
+namespace spindown::des {
+
+Resource::Resource(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument{"Resource capacity must be > 0"};
+}
+
+void Resource::enqueue(Simulation& sim, std::function<void()> fn) {
+  if (in_use_ < capacity_ && waiters_.empty()) {
+    ++in_use_;
+    sim.schedule_in(0.0, std::move(fn));
+  } else {
+    waiters_.push_back(std::move(fn));
+  }
+}
+
+void Resource::release(Simulation& sim) {
+  if (in_use_ == 0) throw std::logic_error{"Resource::release without acquire"};
+  if (!waiters_.empty()) {
+    // Hand the slot straight to the next waiter: in_use_ is unchanged.
+    auto fn = std::move(waiters_.front());
+    waiters_.pop_front();
+    sim.schedule_in(0.0, std::move(fn));
+  } else {
+    --in_use_;
+  }
+}
+
+} // namespace spindown::des

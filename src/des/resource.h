@@ -1,0 +1,61 @@
+// resource.h — FCFS resource with fixed capacity (SimPy's `Resource`).
+//
+// A disk is capacity-1: requests queue in arrival order and are served one
+// at a time.  Usable from coroutine processes (`co_await res.acquire(sim)`)
+// and from callback code (`res.enqueue(sim, fn)`).
+//
+// Every grant — contended or not — is delivered as a scheduled event at the
+// grant time.  That costs one calendar entry per acquisition but makes the
+// ordering rules uniform: grants interleave with other same-time events in
+// FIFO order, which keeps simulations deterministic.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "des/simulation.h"
+
+namespace spindown::des {
+
+class Resource {
+public:
+  explicit Resource(std::size_t capacity = 1);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t in_use() const { return in_use_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+  /// Callback interface: run `fn` once a slot is free (immediately if one is
+  /// free now).  The slot is held until release().
+  void enqueue(Simulation& sim, std::function<void()> fn);
+
+  /// Release one slot; the longest-waiting requester (if any) receives it.
+  void release(Simulation& sim);
+
+  /// Coroutine interface: `co_await res.acquire(sim)` suspends until a slot
+  /// is granted.  Pair with `res.release(sim)` when done.
+  class Awaiter {
+  public:
+    Awaiter(Simulation& sim, Resource& res) : sim_(sim), res_(res) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      res_.enqueue(sim_, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+
+  private:
+    Simulation& sim_;
+    Resource& res_;
+  };
+
+  Awaiter acquire(Simulation& sim) { return Awaiter{sim, *this}; }
+
+private:
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::deque<std::function<void()>> waiters_;
+};
+
+} // namespace spindown::des

@@ -1,0 +1,65 @@
+#include "des/simulation.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace spindown::des {
+
+EventHandle Simulation::schedule_at(SimTime t, Callback fn) {
+  if (t < now_) throw std::invalid_argument{"schedule_at: time in the past"};
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id, std::move(fn)});
+  return EventHandle{id};
+}
+
+EventHandle Simulation::schedule_in(SimTime delay, Callback fn) {
+  if (delay < 0.0) throw std::invalid_argument{"schedule_in: negative delay"};
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulation::cancel(EventHandle h) {
+  if (!h.valid() || h.id_ >= next_id_) return false;
+  // Lazy deletion: remember the id; the entry is dropped when it surfaces.
+  // Ids are unique per event, so a stale id (cancel after execution) sits in
+  // the set harmlessly; callers clear their handles to avoid creating them.
+  return cancelled_.insert(h.id_).second;
+}
+
+void Simulation::prune_cancelled() {
+  while (!queue_.empty()) {
+    const auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+bool Simulation::step() {
+  prune_cancelled();
+  if (queue_.empty()) return false;
+  // priority_queue has no non-const pop-and-move; the const_cast is the
+  // standard idiom and safe because the entry is popped immediately after.
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  assert(e.time >= now_);
+  now_ = e.time;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+void Simulation::run_until(SimTime t) {
+  for (;;) {
+    prune_cancelled();
+    if (queue_.empty() || queue_.top().time > t) break;
+    step();
+  }
+  if (t > now_) now_ = t;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+} // namespace spindown::des

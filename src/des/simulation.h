@@ -1,0 +1,106 @@
+// simulation.h — discrete-event simulation kernel.
+//
+// This is the C++ substitute for the SimPy environment the paper's original
+// study used.  The kernel is a classic event calendar:
+//
+//   * events are (time, sequence) pairs with a callback; ties in time are
+//     broken by insertion order, so runs are fully deterministic,
+//   * scheduling returns a handle that can cancel the event (used by the
+//     disk's idleness timer, which is disarmed whenever a request arrives),
+//   * on top of the callback core, process.h adds SimPy-style coroutine
+//     processes (`co_await sim.delay(t)`).
+//
+// The kernel is intentionally single-threaded: determinism and simplicity
+// beat parallelism at this scale (a 720-hour NERSC replay is ~10^6 events).
+// Parallelism lives one level up, in sys/sweep.h, which runs independent
+// experiment configurations on a thread pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace spindown::des {
+
+using SimTime = double;
+using Callback = std::function<void()>;
+
+/// Identifies a scheduled event for cancellation.  Default-constructed
+/// handles are inert ("no event").
+class EventHandle {
+public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+
+private:
+  friend class Simulation;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulation {
+public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulation clock (seconds).
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t` (>= now).
+  EventHandle schedule_at(SimTime t, Callback fn);
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  EventHandle schedule_in(SimTime delay, Callback fn);
+
+  /// Cancel a pending event.  Returns false if the event already ran, was
+  /// already cancelled, or the handle is inert.  Cancellation is O(1)
+  /// (lazy deletion: the entry is skipped when popped).
+  bool cancel(EventHandle h);
+
+  /// Run a single event.  Returns false if the calendar is empty.
+  bool step();
+
+  /// Run events until the calendar empties or the next event is past `t`;
+  /// the clock is then advanced to exactly `t`.
+  void run_until(SimTime t);
+
+  /// Drain the calendar completely.
+  void run();
+
+  /// Number of pending events, net of cancellations that have not yet been
+  /// pruned (an upper bound equal to the true count in the common case where
+  /// every cancelled id is still in the queue).
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  /// Total events executed so far (for tests and engine statistics).
+  std::uint64_t executed() const { return executed_; }
+
+private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq; // tie-breaker: FIFO among same-time events
+    std::uint64_t id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drop cancelled entries sitting at the head of the calendar.
+  void prune_cancelled();
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1; // 0 is the inert handle
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+} // namespace spindown::des

@@ -1,0 +1,160 @@
+#include "disk/disk.h"
+
+#include <cassert>
+
+namespace spindown::disk {
+
+util::Joules DiskMetrics::energy(const DiskParams& p) const {
+  util::Joules total = 0.0;
+  for (std::size_t i = 0; i < kPowerStateCount; ++i) {
+    total += state_time[i] * power_of(static_cast<PowerState>(i), p);
+  }
+  return total;
+}
+
+Disk::Disk(des::Simulation& sim, std::uint32_t id, DiskParams params,
+           std::unique_ptr<SpinDownPolicy> policy, util::Rng rng)
+    : sim_(sim), id_(id), params_(std::move(params)), policy_(std::move(policy)),
+      rng_(rng), ledger_(PowerState::kIdle, sim.now()), idle_since_(sim.now()) {
+  assert(policy_ != nullptr);
+  arm_idle_timer();
+}
+
+void Disk::enter(PowerState next) {
+  assert(can_transition(state_, next));
+  ledger_.transition(sim_.now(), next);
+  state_ = next;
+}
+
+void Disk::submit(std::uint64_t request_id, util::Bytes bytes) {
+  queue_.push_back(Job{request_id, bytes, sim_.now()});
+  switch (state_) {
+    case PowerState::kIdle:
+      // The idle gap ends now; record it for offline-optimal analysis.
+      idle_gaps_.push_back(sim_.now() - idle_since_);
+      disarm_idle_timer();
+      start_service();
+      break;
+    case PowerState::kStandby:
+      begin_spin_up();
+      break;
+    case PowerState::kSpinningDown:
+    case PowerState::kSpinningUp:
+    case PowerState::kPositioning:
+    case PowerState::kTransfer:
+      // Queued; picked up when the current activity finishes.
+      break;
+  }
+}
+
+void Disk::start_service() {
+  assert(!queue_.empty());
+  assert(state_ == PowerState::kIdle || state_ == PowerState::kTransfer ||
+         state_ == PowerState::kSpinningUp);
+  current_ = queue_.front();
+  queue_.pop_front();
+  service_start_ = sim_.now();
+  enter(PowerState::kPositioning);
+  sim_.schedule_in(params_.position_time(), [this] { finish_positioning(); });
+}
+
+void Disk::finish_positioning() {
+  enter(PowerState::kTransfer);
+  sim_.schedule_in(params_.transfer_time(current_.bytes),
+                   [this] { finish_transfer(); });
+}
+
+void Disk::finish_transfer() {
+  ++served_;
+  bytes_served_ += current_.bytes;
+  if (on_complete_) {
+    Completion c;
+    c.request_id = current_.request_id;
+    c.disk_id = id_;
+    c.arrival = current_.arrival;
+    c.service_start = service_start_;
+    c.completion = sim_.now();
+    c.bytes = current_.bytes;
+    on_complete_(c);
+  }
+  if (!queue_.empty()) {
+    start_service();
+  } else {
+    go_idle();
+  }
+}
+
+void Disk::go_idle() {
+  enter(PowerState::kIdle);
+  idle_since_ = sim_.now();
+  arm_idle_timer();
+}
+
+void Disk::arm_idle_timer() {
+  assert(state_ == PowerState::kIdle);
+  const auto timeout = policy_->idle_timeout(rng_);
+  if (!timeout.has_value()) return; // stay idle forever (never-spin-down)
+  if (*timeout <= 0.0) {
+    begin_spin_down();
+    return;
+  }
+  idle_timer_ = sim_.schedule_in(*timeout, [this] {
+    idle_timer_armed_ = false;
+    begin_spin_down();
+  });
+  idle_timer_armed_ = true;
+}
+
+void Disk::disarm_idle_timer() {
+  if (idle_timer_armed_) {
+    sim_.cancel(idle_timer_);
+    idle_timer_armed_ = false;
+  }
+  idle_timer_ = des::EventHandle{};
+}
+
+void Disk::begin_spin_down() {
+  assert(state_ == PowerState::kIdle);
+  ++spin_downs_;
+  enter(PowerState::kSpinningDown);
+  sim_.schedule_in(params_.spindown_s, [this] { finish_spin_down(); });
+}
+
+void Disk::finish_spin_down() {
+  enter(PowerState::kStandby);
+  // Requests that arrived during the spin-down force an immediate spin-up.
+  if (!queue_.empty()) begin_spin_up();
+}
+
+void Disk::begin_spin_up() {
+  assert(state_ == PowerState::kStandby);
+  ++spin_ups_;
+  enter(PowerState::kSpinningUp);
+  sim_.schedule_in(params_.spinup_s, [this] { finish_spin_up(); });
+}
+
+void Disk::finish_spin_up() {
+  if (!queue_.empty()) {
+    start_service();
+  } else {
+    // Cannot normally happen (spin-ups are demand-driven), but a policy
+    // extension could spin up proactively; settle into idle.
+    go_idle();
+  }
+}
+
+DiskMetrics Disk::metrics(double now) const {
+  auto ledger = ledger_; // copy, then flush the copy to `now`
+  ledger.flush(now);
+  DiskMetrics m;
+  for (std::size_t i = 0; i < kPowerStateCount; ++i) {
+    m.state_time[i] = ledger.time_in(static_cast<PowerState>(i));
+  }
+  m.spin_ups = spin_ups_;
+  m.spin_downs = spin_downs_;
+  m.served = served_;
+  m.bytes_served = bytes_served_;
+  return m;
+}
+
+} // namespace spindown::disk

@@ -1,0 +1,136 @@
+// disk.h — the simulated disk: FCFS service queue + Figure 1 power states.
+//
+// A Disk is a discrete-event actor.  Reads are submitted at the current
+// simulation time and served first-come-first-served, one at a time.  Each
+// service has two billed phases: positioning (avg seek + avg rotation, at
+// seek power) and transfer (size / rate, at active power).  When the queue
+// drains the disk goes idle and asks its SpinDownPolicy for a timeout; when
+// the timer fires it spins down (10 s) into standby (0.8 W).  A request
+// arriving at a standby disk triggers a spin-up (15 s) and is served after
+// it; a request arriving mid-spin-down waits for the spin-down to complete
+// and then for the spin-up (the head cannot abort a retraction).
+//
+// Every state residency is integrated into a time-weighted ledger, so energy
+// is exact under the piecewise-constant power model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "des/simulation.h"
+#include "disk/params.h"
+#include "disk/power.h"
+#include "disk/spin_policy.h"
+#include "stats/time_weighted.h"
+#include "util/rng.h"
+
+namespace spindown::disk {
+
+/// Completion record delivered to the owner's callback.
+struct Completion {
+  std::uint64_t request_id = 0;
+  std::uint32_t disk_id = 0;
+  double arrival = 0.0;       ///< submission time
+  double service_start = 0.0; ///< positioning began
+  double completion = 0.0;
+  util::Bytes bytes = 0;
+
+  double response_time() const { return completion - arrival; }
+  double wait_time() const { return service_start - arrival; }
+};
+
+/// Aggregate per-disk counters; energy follows from the state-time ledger.
+struct DiskMetrics {
+  std::array<double, kPowerStateCount> state_time{};
+  std::uint64_t spin_ups = 0;
+  std::uint64_t spin_downs = 0;
+  std::uint64_t served = 0;
+  util::Bytes bytes_served = 0;
+
+  double time_in(PowerState s) const {
+    return state_time[static_cast<std::size_t>(s)];
+  }
+  double busy_time() const {
+    return time_in(PowerState::kPositioning) + time_in(PowerState::kTransfer);
+  }
+  /// Integrated energy under the device's power model.
+  util::Joules energy(const DiskParams& p) const;
+};
+
+class Disk {
+public:
+  using CompletionCallback = std::function<void(const Completion&)>;
+
+  /// The disk starts spun up and idle at sim.now(), as in the paper's runs.
+  Disk(des::Simulation& sim, std::uint32_t id, DiskParams params,
+       std::unique_ptr<SpinDownPolicy> policy, util::Rng rng);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Submit a whole-file read arriving now.  Completion is reported through
+  /// the callback (if set).
+  void submit(std::uint64_t request_id, util::Bytes bytes);
+
+  void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
+
+  std::uint32_t id() const { return id_; }
+  const DiskParams& params() const { return params_; }
+  PowerState state() const { return state_; }
+  std::size_t queue_length() const { return queue_.size(); }
+
+  /// Snapshot of the counters with the ledger flushed to `now`.
+  DiskMetrics metrics(double now) const;
+
+  /// Completed idle-gap durations (time from going idle to the next
+  /// arrival), recorded when the policy never spun the disk down during the
+  /// gap.  Input for offline-optimal analysis.
+  const std::vector<double>& idle_gaps() const { return idle_gaps_; }
+
+private:
+  struct Job {
+    std::uint64_t request_id;
+    util::Bytes bytes;
+    double arrival;
+  };
+
+  void enter(PowerState next);
+  void start_service();
+  void finish_positioning();
+  void finish_transfer();
+  void go_idle();
+  void arm_idle_timer();
+  void disarm_idle_timer();
+  void begin_spin_down();
+  void finish_spin_down();
+  void begin_spin_up();
+  void finish_spin_up();
+
+  des::Simulation& sim_;
+  std::uint32_t id_;
+  DiskParams params_;
+  std::unique_ptr<SpinDownPolicy> policy_;
+  util::Rng rng_;
+
+  PowerState state_ = PowerState::kIdle;
+  stats::TimeWeighted<PowerState, kPowerStateCount> ledger_;
+  std::deque<Job> queue_;
+  Job current_{};
+  des::EventHandle idle_timer_;
+  bool idle_timer_armed_ = false;
+  double idle_since_ = 0.0;
+  double service_start_ = 0.0;
+
+  CompletionCallback on_complete_;
+  std::uint64_t spin_ups_ = 0;
+  std::uint64_t spin_downs_ = 0;
+  std::uint64_t served_ = 0;
+  util::Bytes bytes_served_ = 0;
+  std::vector<double> idle_gaps_;
+};
+
+} // namespace spindown::disk

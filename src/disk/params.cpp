@@ -1,0 +1,41 @@
+#include "disk/params.h"
+
+namespace spindown::disk {
+
+DiskParams DiskParams::laptop_2_5in() {
+  DiskParams p;
+  p.model = "generic 2.5-inch 5400rpm";
+  p.capacity = util::gb(500.0);
+  p.avg_seek_s = 0.012;
+  p.avg_rotation_s = 0.00556; // 5400 rpm: half a revolution
+  p.transfer_bps = 60.0e6;
+  p.idle_w = 1.8;
+  p.standby_w = 0.2;
+  p.active_w = 2.5;
+  p.seek_w = 2.3;
+  p.spinup_w = 4.5;
+  p.spindown_w = 1.5;
+  p.spinup_s = 4.0;
+  p.spindown_s = 1.5;
+  return p;
+}
+
+DiskParams DiskParams::st3500630as() {
+  DiskParams p;
+  p.model = "Seagate ST3500630AS";
+  p.capacity = util::gb(500.0);
+  p.avg_seek_s = 0.0085;
+  p.avg_rotation_s = 0.00416;
+  p.transfer_bps = 72.0e6;
+  p.idle_w = 9.3;
+  p.standby_w = 0.8;
+  p.active_w = 13.0;
+  p.seek_w = 12.6;
+  p.spinup_w = 24.0;
+  p.spindown_w = 9.3;
+  p.spinup_s = 15.0;
+  p.spindown_s = 10.0;
+  return p;
+}
+
+} // namespace spindown::disk

@@ -1,0 +1,87 @@
+// spin_policy.h — when does an idle disk spin down?
+//
+// The paper uses a fixed idleness threshold, defaulting to the break-even
+// time (Table 2: 53.3 s), and sweeps the threshold in Figures 5/6.  The
+// related-work section (§2) surveys the competitive-analysis literature on
+// this choice; we implement those policies as well, for the ablation bench:
+//
+//   * FixedThresholdPolicy(T)   — the paper's policy; T = 0 is "immediately
+//                                 spin down", a useful extreme.
+//   * NeverSpinDownPolicy       — the "no power management" baseline that
+//                                 Figure 5's normalization divides by.
+//   * BreakEvenPolicy           — FixedThreshold at the 2-competitive
+//                                 break-even point (the paper's default).
+//   * RandomizedCompetitivePolicy — draws the threshold from the density
+//       f(t) = e^(t/B) / (B (e - 1)),  t in [0, B]   (B = break-even)
+//     which is e/(e-1) ~ 1.58-competitive against oblivious adversaries
+//     (Karlin et al.; surveyed in the paper's [8]).
+//
+// A policy is consulted once per idle-period start and returns the timeout
+// after which the disk should begin spinning down, or nullopt for "never".
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "disk/params.h"
+#include "util/rng.h"
+
+namespace spindown::disk {
+
+class SpinDownPolicy {
+public:
+  virtual ~SpinDownPolicy() = default;
+
+  /// Timeout for the idle period that starts now; nullopt = stay idle.
+  virtual std::optional<double> idle_timeout(util::Rng& rng) = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+};
+
+class FixedThresholdPolicy final : public SpinDownPolicy {
+public:
+  explicit FixedThresholdPolicy(double threshold_s);
+  std::optional<double> idle_timeout(util::Rng&) override { return threshold_; }
+  std::string name() const override;
+  double threshold() const { return threshold_; }
+
+private:
+  double threshold_;
+};
+
+class NeverSpinDownPolicy final : public SpinDownPolicy {
+public:
+  std::optional<double> idle_timeout(util::Rng&) override { return std::nullopt; }
+  std::string name() const override { return "never"; }
+};
+
+/// Factory helpers.
+std::unique_ptr<SpinDownPolicy> make_fixed_policy(double threshold_s);
+std::unique_ptr<SpinDownPolicy> make_never_policy();
+std::unique_ptr<SpinDownPolicy> make_break_even_policy(const DiskParams& p);
+
+class RandomizedCompetitivePolicy final : public SpinDownPolicy {
+public:
+  explicit RandomizedCompetitivePolicy(const DiskParams& p);
+  std::optional<double> idle_timeout(util::Rng& rng) override;
+  std::string name() const override { return "randomized-competitive"; }
+
+private:
+  double break_even_;
+};
+
+std::unique_ptr<SpinDownPolicy> make_randomized_policy(const DiskParams& p);
+
+/// Offline-optimal energy for a single disk given its idle-gap sequence:
+/// for each gap g, the adversary-free optimum pays
+///   min(P_idle * g, transition_energy + P_standby * max(0, g - t_down - t_up))
+/// when the gap fits a full round trip, else P_idle * g.  Used by the
+/// ablation bench to report competitive ratios; not a simulation policy
+/// (it needs the future).
+util::Joules offline_optimal_idle_energy(const DiskParams& p,
+                                         std::span<const double> idle_gaps);
+
+} // namespace spindown::disk

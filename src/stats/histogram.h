@@ -1,0 +1,65 @@
+// histogram.h — fixed-bin histograms with percentile estimation.
+//
+// Two binning schemes:
+//   * LinearHistogram — equal-width bins over [lo, hi); under/overflow bins.
+//   * LogHistogram    — log-spaced bins, used to reproduce the paper's
+//     80-bin file-size classification of the NERSC workload (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spindown::stats {
+
+class LinearHistogram {
+public:
+  /// [lo, hi) split into `bins` equal cells, plus underflow and overflow.
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::uint64_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return counts_[i]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Percentile estimate by linear interpolation inside the containing bin.
+  /// Underflow clamps to lo, overflow to hi.  p in [0,100].
+  double percentile(double p) const;
+
+private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+class LogHistogram {
+public:
+  /// Log-spaced bins covering [lo, hi); lo must be > 0.
+  LogHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::uint64_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return counts_[i]; }
+
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  /// Geometric midpoint of bin i (natural x-coordinate on a log axis).
+  double bin_mid(std::size_t i) const;
+
+  /// Fraction of the total in each bin (empty vector if no samples).
+  std::vector<double> proportions() const;
+
+private:
+  double log_lo_, log_hi_, log_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+} // namespace spindown::stats

@@ -1,0 +1,34 @@
+#include "stats/summary.h"
+
+#include "util/units.h"
+
+namespace spindown::stats {
+
+// 0..2000 s in 0.1 s cells: fine enough for sub-second percentiles, wide
+// enough that only pathological runs overflow (overflow still counted).
+ResponseSummary::ResponseSummary() : hist_(0.0, 2000.0, 20000) {}
+
+void ResponseSummary::add(double seconds) {
+  moments_.add(seconds);
+  hist_.add(seconds);
+}
+
+void ResponseSummary::merge(const ResponseSummary& other) {
+  moments_.merge(other.moments_);
+  for (std::size_t i = 0; i < other.hist_.bins(); ++i) {
+    if (const auto c = other.hist_.bin_count(i); c > 0) {
+      hist_.add((other.hist_.bin_lo(i) + other.hist_.bin_hi(i)) / 2.0, c);
+    }
+  }
+}
+
+std::string ResponseSummary::brief() const {
+  using util::format_double;
+  return "n=" + std::to_string(count()) +
+         " mean=" + format_double(mean(), 3) + "s" +
+         " p50=" + format_double(p50(), 3) + "s" +
+         " p95=" + format_double(p95(), 3) + "s" +
+         " max=" + format_double(max(), 3) + "s";
+}
+
+} // namespace spindown::stats

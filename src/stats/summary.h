@@ -1,0 +1,39 @@
+// summary.h — the response-time summary reported by every experiment.
+#pragma once
+
+#include <string>
+
+#include "stats/histogram.h"
+#include "stats/welford.h"
+
+namespace spindown::stats {
+
+/// Streaming summary of a response-time series: moments plus a histogram for
+/// percentiles.  The histogram range covers everything a single request can
+/// plausibly take in our model (sub-second cache hits through multi-minute
+/// queue + spin-up + 20 GB transfers).
+class ResponseSummary {
+public:
+  ResponseSummary();
+
+  void add(double seconds);
+  void merge(const ResponseSummary& other);
+
+  std::uint64_t count() const { return moments_.count(); }
+  double mean() const { return moments_.mean(); }
+  double stddev() const { return moments_.stddev(); }
+  double min() const { return moments_.min(); }
+  double max() const { return moments_.max(); }
+  double p50() const { return hist_.percentile(50.0); }
+  double p95() const { return hist_.percentile(95.0); }
+  double p99() const { return hist_.percentile(99.0); }
+
+  /// One-line report, e.g. "n=115832 mean=7.3s p95=24.1s max=312s".
+  std::string brief() const;
+
+private:
+  Welford moments_;
+  LinearHistogram hist_;
+};
+
+} // namespace spindown::stats

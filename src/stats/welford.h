@@ -1,0 +1,68 @@
+// welford.h — numerically stable streaming mean / variance / extrema.
+//
+// Response-time series from long simulations (hundreds of thousands of
+// requests) are accumulated online; Welford's algorithm avoids the
+// catastrophic cancellation of the naive sum-of-squares approach.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace spindown::stats {
+
+class Welford {
+public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  /// Merge another accumulator (Chan et al. parallel formula); used when
+  /// per-thread accumulators are combined after a parallel sweep.
+  void merge(const Welford& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    sum_ += other.sum_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double sum() const { return sum_; }
+
+  /// Population variance; 0 with fewer than two samples.
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace spindown::stats

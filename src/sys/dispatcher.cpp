@@ -1,0 +1,44 @@
+#include "sys/dispatcher.h"
+
+#include <stdexcept>
+
+namespace spindown::sys {
+
+Dispatcher::Dispatcher(des::Simulation& sim,
+                       const workload::FileCatalog& catalog,
+                       std::vector<std::uint32_t> mapping,
+                       std::vector<disk::Disk*> disks,
+                       cache::FileCache* cache, double cache_hit_latency_s)
+    : sim_(sim), catalog_(catalog), mapping_(std::move(mapping)),
+      disks_(std::move(disks)), cache_(cache),
+      cache_hit_latency_(cache_hit_latency_s) {
+  if (mapping_.size() < catalog.size()) {
+    throw std::invalid_argument{"Dispatcher: mapping smaller than catalog"};
+  }
+  for (const auto d : mapping_) {
+    if (d >= disks_.size()) {
+      throw std::invalid_argument{"Dispatcher: mapping references unknown disk"};
+    }
+  }
+}
+
+void Dispatcher::dispatch(const workload::Request& request) {
+  ++dispatched_;
+  const auto& file = catalog_.by_id(request.file);
+  if (cache_ != nullptr && cache_->access(file.id, file.size)) {
+    // Cache hit: served from memory; the disk never sees the request.
+    if (on_hit_) {
+      const auto id = request.id;
+      const auto latency = cache_hit_latency_;
+      if (latency > 0.0) {
+        sim_.schedule_in(latency, [this, id, latency] { on_hit_(id, latency); });
+      } else {
+        on_hit_(id, 0.0);
+      }
+    }
+    return;
+  }
+  disks_[mapping_[file.id]]->submit(request.id, file.size);
+}
+
+} // namespace spindown::sys

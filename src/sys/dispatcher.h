@@ -1,0 +1,55 @@
+// dispatcher.h — routes file requests to disks via the mapping table.
+//
+// §4: "Once a request is generated, the file dispatcher forwards it to the
+// corresponding disk based on the file-to-disk mapping table, which is built
+// using Pack_Disks...  The mapping time in the dispatcher is ignored."
+// An optional front cache (§5.1's 16 GB LRU) intercepts requests before they
+// reach a disk; hits complete with a configurable latency (0 by default).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.h"
+#include "core/item.h"
+#include "des/simulation.h"
+#include "disk/disk.h"
+#include "workload/stream.h"
+
+namespace spindown::sys {
+
+class Dispatcher {
+public:
+  /// `mapping` = disk index per file id (an Assignment's disk_of).
+  /// `cache` may be null (no cache).  Cache hits are reported through
+  /// `on_hit` with the request's (id, response time).
+  Dispatcher(des::Simulation& sim, const workload::FileCatalog& catalog,
+             std::vector<std::uint32_t> mapping,
+             std::vector<disk::Disk*> disks,
+             cache::FileCache* cache = nullptr,
+             double cache_hit_latency_s = 0.0);
+
+  using HitCallback = std::function<void(std::uint64_t, double)>;
+  void set_hit_callback(HitCallback cb) { on_hit_ = std::move(cb); }
+
+  /// Route a request arriving now.
+  void dispatch(const workload::Request& request);
+
+  std::uint64_t dispatched() const { return dispatched_; }
+
+  /// Which disk serves this file.
+  std::uint32_t disk_of(workload::FileId id) const { return mapping_.at(id); }
+
+private:
+  des::Simulation& sim_;
+  const workload::FileCatalog& catalog_;
+  std::vector<std::uint32_t> mapping_;
+  std::vector<disk::Disk*> disks_;
+  cache::FileCache* cache_;
+  double cache_hit_latency_;
+  HitCallback on_hit_;
+  std::uint64_t dispatched_ = 0;
+};
+
+} // namespace spindown::sys

@@ -1,0 +1,55 @@
+#include "sys/experiment.h"
+
+#include <stdexcept>
+
+#include "cache/fifo.h"
+#include "cache/lfu.h"
+#include "cache/lru.h"
+
+namespace spindown::sys {
+
+std::unique_ptr<cache::FileCache> CacheSpec::make() const {
+  switch (kind) {
+    case Kind::kNone: return nullptr;
+    case Kind::kLru: return std::make_unique<cache::LruCache>(capacity);
+    case Kind::kFifo: return std::make_unique<cache::FifoCache>(capacity);
+    case Kind::kLfu: return std::make_unique<cache::LfuCache>(capacity);
+  }
+  throw std::logic_error{"CacheSpec: unknown kind"};
+}
+
+RunResult run_experiment(const ExperimentConfig& config) {
+  if (config.catalog == nullptr) {
+    throw std::invalid_argument{"ExperimentConfig: catalog is required"};
+  }
+
+  const auto cache = config.cache.make();
+  StorageSystem system{*config.catalog, config.mapping, config.num_disks,
+                       config.params,   config.policy,  cache.get(),
+                       config.seed};
+  for (const auto& [disk, policy] : config.policy_overrides) {
+    system.set_policy_override(disk, policy);
+  }
+
+  switch (config.workload.kind) {
+    case WorkloadSpec::Kind::kPoisson: {
+      workload::PoissonZipfStream stream{*config.catalog,
+                                         config.workload.rate,
+                                         config.workload.horizon_s,
+                                         util::Rng{config.seed}};
+      return system.run(stream, config.workload.horizon_s);
+    }
+    case WorkloadSpec::Kind::kTrace: {
+      if (config.workload.trace == nullptr) {
+        throw std::invalid_argument{"ExperimentConfig: trace is required"};
+      }
+      workload::TraceStream stream{*config.workload.trace};
+      // +1 s so the request landing exactly at the trace end is inside the
+      // measurement window.
+      return system.run(stream, config.workload.trace->duration() + 1.0);
+    }
+  }
+  throw std::logic_error{"ExperimentConfig: unknown workload kind"};
+}
+
+} // namespace spindown::sys

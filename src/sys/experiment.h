@@ -1,0 +1,81 @@
+// experiment.h — declarative experiment configuration + one-call runner.
+//
+// Every bench and example builds ExperimentConfig values (catalog, mapping,
+// policy, cache, workload) and calls run_experiment(); sweep.h runs batches
+// of them in parallel.  This is the public "run the paper's simulation"
+// entry point.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sys/system.h"
+#include "workload/trace.h"
+
+namespace spindown::sys {
+
+/// What drives the arrivals.
+struct WorkloadSpec {
+  enum class Kind { kPoisson, kTrace };
+  Kind kind = Kind::kPoisson;
+  // Poisson (Table 1): rate R over [0, horizon).
+  double rate = 6.0;
+  double horizon_s = 4000.0;
+  // Trace replay (§5.1): not owned.
+  const workload::Trace* trace = nullptr;
+
+  static WorkloadSpec poisson(double rate, double horizon_s) {
+    WorkloadSpec w;
+    w.kind = Kind::kPoisson;
+    w.rate = rate;
+    w.horizon_s = horizon_s;
+    return w;
+  }
+  static WorkloadSpec replay(const workload::Trace& trace) {
+    WorkloadSpec w;
+    w.kind = Kind::kTrace;
+    w.trace = &trace;
+    return w;
+  }
+};
+
+/// Front-cache selection (§5.1 uses a 16 GB LRU).
+struct CacheSpec {
+  enum class Kind { kNone, kLru, kFifo, kLfu };
+  Kind kind = Kind::kNone;
+  util::Bytes capacity = util::gb(16.0);
+
+  static CacheSpec none() { return {}; }
+  static CacheSpec lru(util::Bytes cap = util::gb(16.0)) {
+    return CacheSpec{Kind::kLru, cap};
+  }
+  static CacheSpec fifo(util::Bytes cap = util::gb(16.0)) {
+    return CacheSpec{Kind::kFifo, cap};
+  }
+  static CacheSpec lfu(util::Bytes cap = util::gb(16.0)) {
+    return CacheSpec{Kind::kLfu, cap};
+  }
+
+  /// nullptr for kNone.
+  std::unique_ptr<cache::FileCache> make() const;
+};
+
+struct ExperimentConfig {
+  std::string label;
+  const workload::FileCatalog* catalog = nullptr; ///< not owned
+  std::vector<std::uint32_t> mapping;             ///< file id -> disk
+  std::uint32_t num_disks = 0;
+  disk::DiskParams params = disk::DiskParams::st3500630as();
+  PolicySpec policy = PolicySpec::break_even();
+  /// Per-disk exceptions to `policy` (e.g. MAID's always-on cache disks).
+  std::vector<std::pair<std::uint32_t, PolicySpec>> policy_overrides;
+  CacheSpec cache = CacheSpec::none();
+  WorkloadSpec workload;
+  std::uint64_t seed = 1;
+};
+
+/// Run one experiment to completion.  Deterministic given the config.
+RunResult run_experiment(const ExperimentConfig& config);
+
+} // namespace spindown::sys

@@ -1,0 +1,74 @@
+// phased.h — semi-dynamic operation: windows, drift, and reorganization.
+//
+// §1 of the paper: the allocation "can be applied in a semi-dynamic manner
+// by accumulating access statistics over periodic intervals and performing
+// reorganization of file allocations"; §6 lists migration decisions under
+// popularity drift as future work.  This runner implements the loop:
+//
+//   for each window:
+//     simulate the window's workload on the current placement
+//     (popularities drift between windows)
+//     if adaptive: re-pack from the observed per-file counts
+//                  (core::Reorganizer) and pay for the migration
+//
+// Migration cost model: every moved byte is read once and written once at
+// the device's transfer rate and active power — energy `2 * bytes/B * P_act`
+// charged to the adaptive strategy's account (the simulator itself keeps
+// serving reads; migration I/O is assumed scheduled in the idle troughs, so
+// only its energy, not its queueing, is modeled — recorded as a caveat in
+// EXPERIMENTS.md).
+#pragma once
+
+#include <vector>
+
+#include "core/normalize.h"
+#include "core/reorganizer.h"
+#include "sys/experiment.h"
+
+namespace spindown::sys {
+
+struct PhasedConfig {
+  const workload::FileCatalog* catalog = nullptr;
+  core::LoadModel model;            ///< rate = per-window request rate
+  std::uint32_t windows = 6;
+  double window_s = 20'000.0;
+  /// Fraction of the popularity ranking rotated per window (0 = stationary).
+  double drift_per_window = 0.25;
+  bool reorganize = true;           ///< false = static initial placement
+  /// EWMA memory on the access counts the reorganizer consumes:
+  /// state = decay * state + new_window_counts.  0 = trust only the last
+  /// window (noisy; re-packing thrashes on sampling noise), values near 1
+  /// adapt slowly.  The phased tests and bench quantify the effect.
+  double count_decay = 0.5;
+  PolicySpec policy = PolicySpec::break_even();
+  std::uint64_t seed = 1;
+};
+
+struct WindowReport {
+  RunResult run;
+  std::uint32_t disks_used = 0;
+  /// Migration planned at the end of this window (zero for the last window
+  /// and for the static strategy).
+  util::Bytes migrated_bytes = 0;
+  util::Joules migration_energy = 0.0;
+};
+
+struct PhasedResult {
+  std::vector<WindowReport> windows;
+  util::Joules total_energy = 0.0;     ///< service + migration
+  util::Joules migration_energy = 0.0;
+  util::Bytes migrated_bytes = 0;
+  stats::ResponseSummary response;     ///< merged across windows
+};
+
+/// Run the phased loop.  Deterministic given the config.
+PhasedResult run_phased(const PhasedConfig& config);
+
+/// The drift model used between windows: popularity of file i in window w is
+/// the base popularity of rank (rank_i + w * drift * n) mod n.  Exposed so
+/// tests and benches can build the same drifting workloads.
+workload::FileCatalog drifted_catalog(const workload::FileCatalog& base,
+                                      std::uint32_t window,
+                                      double drift_per_window);
+
+} // namespace spindown::sys

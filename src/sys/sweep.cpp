@@ -1,0 +1,49 @@
+#include "sys/sweep.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace spindown::sys {
+
+std::vector<RunResult> run_sweep(std::span<const ExperimentConfig> configs,
+                                 unsigned max_threads) {
+  std::vector<RunResult> results(configs.size());
+  if (configs.empty()) return results;
+
+  unsigned n_threads = max_threads != 0 ? max_threads
+                                        : std::thread::hardware_concurrency();
+  if (n_threads == 0) n_threads = 1;
+  n_threads = std::min<unsigned>(n_threads,
+                                 static_cast<unsigned>(configs.size()));
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= configs.size()) return;
+          try {
+            results[i] = run_experiment(configs[i]);
+          } catch (...) {
+            const std::scoped_lock lock{error_mutex};
+            if (!first_error) first_error = std::current_exception();
+            return;
+          }
+        }
+      });
+    }
+  } // jthreads join here
+
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+} // namespace spindown::sys

@@ -1,0 +1,22 @@
+// sweep.h — run batches of experiments in parallel.
+//
+// Each simulation is single-threaded and deterministic; a sweep (a figure's
+// whole parameter grid) is embarrassingly parallel across configurations.
+// Work is pulled from an atomic counter by a small pool of std::jthread
+// workers (RAII-joined, per the project's concurrency guidelines); results
+// land in input order regardless of completion order.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sys/experiment.h"
+
+namespace spindown::sys {
+
+/// Run all configs; `max_threads` = 0 means hardware concurrency.
+/// Exceptions inside a worker are rethrown on the calling thread.
+std::vector<RunResult> run_sweep(std::span<const ExperimentConfig> configs,
+                                 unsigned max_threads = 0);
+
+} // namespace spindown::sys

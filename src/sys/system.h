@@ -1,0 +1,102 @@
+// system.h — the complete simulated storage system.
+//
+// Wires together the DES kernel, a farm of disks, the dispatcher (plus
+// optional cache), and a request stream; runs to completion; and reports
+// power and response-time results.  Matches the paper's §4 environment:
+// workload generator -> file dispatcher -> disks.
+//
+// Energy accounting: all disks are snapshotted at the *measurement horizon*
+// (the stream's end time), so energy is integrated over an identical window
+// for every configuration; requests still in flight at the horizon run to
+// completion and their response times are recorded.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.h"
+#include "des/simulation.h"
+#include "disk/disk.h"
+#include "disk/spin_policy.h"
+#include "stats/summary.h"
+#include "sys/dispatcher.h"
+#include "util/units.h"
+#include "workload/stream.h"
+
+namespace spindown::sys {
+
+/// Spin-down policy selection for a whole farm.
+struct PolicySpec {
+  enum class Kind { kBreakEven, kFixed, kNever, kRandomized };
+  Kind kind = Kind::kBreakEven;
+  double fixed_threshold_s = 0.0; ///< used when kind == kFixed
+
+  static PolicySpec break_even() { return {}; }
+  static PolicySpec fixed(double threshold_s) {
+    return PolicySpec{Kind::kFixed, threshold_s};
+  }
+  static PolicySpec never() { return PolicySpec{Kind::kNever, 0.0}; }
+  static PolicySpec randomized() { return PolicySpec{Kind::kRandomized, 0.0}; }
+
+  std::unique_ptr<disk::SpinDownPolicy> make(const disk::DiskParams& p) const;
+  std::string name(const disk::DiskParams& p) const;
+};
+
+/// Power-side results over the measurement window.
+struct PowerReport {
+  double horizon_s = 0.0;       ///< measurement window length
+  util::Joules energy = 0.0;    ///< integrated over [0, horizon]
+  util::Watts average_power = 0.0;
+  util::Joules always_on_energy = 0.0; ///< same workload, no power mgmt
+  double saving_vs_always_on = 0.0;    ///< 1 - energy/always_on_energy
+  std::uint64_t spin_ups = 0;
+  std::uint64_t spin_downs = 0;
+  std::array<double, disk::kPowerStateCount> state_time{}; ///< farm totals
+};
+
+struct RunResult {
+  PowerReport power;
+  stats::ResponseSummary response;
+  cache::CacheStats cache;     ///< zeros when no cache configured
+  std::uint64_t requests = 0;
+  std::vector<disk::DiskMetrics> per_disk; ///< at the horizon
+};
+
+class StorageSystem {
+public:
+  /// `num_disks` must cover every disk index in `mapping`.  The cache
+  /// pointer may be null; ownership stays with the caller.
+  StorageSystem(const workload::FileCatalog& catalog,
+                std::vector<std::uint32_t> mapping, std::uint32_t num_disks,
+                disk::DiskParams params, const PolicySpec& policy,
+                cache::FileCache* cache = nullptr,
+                std::uint64_t seed = 1, double cache_hit_latency_s = 0.0);
+
+  /// Per-disk spin-down policy overrides (e.g. MAID's always-on cache
+  /// disks).  Disks without an entry use the constructor's policy.
+  void set_policy_override(std::uint32_t disk, const PolicySpec& policy);
+
+  /// Drive the stream to exhaustion, measure energy over
+  /// [0, max(stream end, `min_horizon`)], then drain in-flight requests.
+  RunResult run(workload::RequestStream& stream, double min_horizon = 0.0);
+
+private:
+  const workload::FileCatalog& catalog_;
+  std::vector<std::uint32_t> mapping_;
+  std::uint32_t num_disks_;
+  disk::DiskParams params_;
+  PolicySpec policy_;
+  cache::FileCache* cache_;
+  std::uint64_t seed_;
+  double cache_hit_latency_;
+  std::vector<std::pair<std::uint32_t, PolicySpec>> policy_overrides_;
+};
+
+/// Closed-form energy of the same served workload with power management
+/// disabled (every disk spinning for the whole window): the Figure 5
+/// normalizer.  `position_s`/`transfer_s` are farm-total busy times.
+util::Joules always_on_energy(const disk::DiskParams& p, std::uint32_t disks,
+                              double horizon_s, double position_s,
+                              double transfer_s);
+
+} // namespace spindown::sys

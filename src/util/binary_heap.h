@@ -1,0 +1,105 @@
+// binary_heap.h — the max-heap the Pack_Disks algorithm is built on.
+//
+// The paper's complexity argument (Lemma 7) relies on two heap properties:
+//   * O(n) construction from an unordered collection, and
+//   * O(log n) insert / remove-max.
+// std::priority_queue provides both but hides its container; we keep our own
+// small implementation so tests can verify the heap invariant directly and
+// so the allocator code reads like the paper's pseudocode (heaps S and L of
+// "size-intensive" / "load-intensive" elements).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace spindown::util {
+
+/// Binary max-heap over T ordered by Compare (std::less -> max-heap, like
+/// std::priority_queue).  Construction from a vector is O(n) (Floyd).
+template <typename T, typename Compare = std::less<T>>
+class BinaryHeap {
+public:
+  BinaryHeap() = default;
+  explicit BinaryHeap(Compare cmp) : cmp_(std::move(cmp)) {}
+
+  /// O(n) heapify of an existing collection.
+  explicit BinaryHeap(std::vector<T> items, Compare cmp = Compare{})
+      : data_(std::move(items)), cmp_(std::move(cmp)) {
+    if (data_.size() > 1) {
+      for (std::size_t i = parent(data_.size() - 1) + 1; i-- > 0;) sift_down(i);
+    }
+  }
+
+  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return data_.size(); }
+
+  /// Largest element (by Compare).  Precondition: non-empty.
+  const T& top() const {
+    assert(!data_.empty());
+    return data_.front();
+  }
+
+  void push(T value) {
+    data_.push_back(std::move(value));
+    sift_up(data_.size() - 1);
+  }
+
+  /// Remove and return the largest element.  Precondition: non-empty.
+  T pop() {
+    assert(!data_.empty());
+    T out = std::move(data_.front());
+    data_.front() = std::move(data_.back());
+    data_.pop_back();
+    if (!data_.empty()) sift_down(0);
+    return out;
+  }
+
+  void clear() { data_.clear(); }
+
+  /// Read-only view of the backing array (tests verify the invariant on it).
+  const std::vector<T>& raw() const { return data_; }
+
+  /// True iff every parent >= child under Compare; O(n).
+  bool verify_invariant() const {
+    for (std::size_t i = 1; i < data_.size(); ++i) {
+      if (cmp_(data_[parent(i)], data_[i])) return false;
+    }
+    return true;
+  }
+
+private:
+  static std::size_t parent(std::size_t i) { return (i - 1) / 2; }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t p = parent(i);
+      if (!cmp_(data_[p], data_[i])) break;
+      using std::swap;
+      swap(data_[p], data_[i]);
+      i = p;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = data_.size();
+    for (;;) {
+      std::size_t largest = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && cmp_(data_[largest], data_[l])) largest = l;
+      if (r < n && cmp_(data_[largest], data_[r])) largest = r;
+      if (largest == i) return;
+      using std::swap;
+      swap(data_[i], data_[largest]);
+      i = largest;
+    }
+  }
+
+  std::vector<T> data_;
+  Compare cmp_;
+};
+
+} // namespace spindown::util

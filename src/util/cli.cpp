@@ -1,0 +1,50 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+namespace spindown::util {
+
+Cli::Cli(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not itself an option.
+    if (i + 1 < argc && std::string_view{argv[i + 1]}.rfind("--", 0) != 0) {
+      options_[arg] = argv[++i];
+    } else {
+      options_[arg] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  return options_.contains(name);
+}
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() || it->second.empty() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+} // namespace spindown::util

@@ -1,0 +1,37 @@
+// cli.h — tiny argument parser shared by the bench and example binaries.
+//
+// Supports "--flag", "--key value" and "--key=value".  Unknown arguments are
+// collected as positionals.  Just enough for reproducible experiment CLIs;
+// not a general-purpose parser.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spindown::util {
+
+class Cli {
+public:
+  Cli(int argc, char** argv);
+
+  /// True if "--name" appeared (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Value of "--name value" / "--name=value", or fallback.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+  const std::string& program() const { return program_; }
+
+private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positionals_;
+};
+
+} // namespace spindown::util

@@ -1,0 +1,98 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace spindown::util {
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(&out) {}
+
+CsvWriter::CsvWriter(const std::filesystem::path& path)
+    : file_(path), out_(&file_) {
+  if (!file_) {
+    throw std::runtime_error{"CsvWriter: cannot open " + path.string()};
+  }
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string{field};
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
+  bool first = true;
+  for (auto f : fields) {
+    if (!first) *out_ << ',';
+    *out_ << escape(f);
+    first = false;
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) *out_ << ',';
+    *out_ << escape(f);
+    first = false;
+  }
+  *out_ << '\n';
+}
+
+std::vector<std::string> split_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+CsvReader::CsvReader(const std::filesystem::path& path) : in_(path) {
+  if (!in_) {
+    throw std::runtime_error{"CsvReader: cannot open " + path.string()};
+  }
+}
+
+std::optional<std::vector<std::string>> CsvReader::next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (line.empty() || line == "\r") continue;
+    return split_csv_line(line);
+  }
+  return std::nullopt;
+}
+
+} // namespace spindown::util

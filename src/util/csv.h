@@ -1,0 +1,70 @@
+// csv.h — minimal CSV reading/writing for traces and bench output.
+//
+// The trace format is deliberately simple (no embedded newlines); quoting is
+// supported for robustness when fields contain commas or quotes.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spindown::util {
+
+/// Streaming CSV writer.  Rows are written immediately; no buffering beyond
+/// the underlying stream.
+class CsvWriter {
+public:
+  /// Write to an externally owned stream (e.g. std::cout).
+  explicit CsvWriter(std::ostream& out);
+  /// Write to a file, truncating; throws std::runtime_error if unopenable.
+  explicit CsvWriter(const std::filesystem::path& path);
+
+  void write_row(std::initializer_list<std::string_view> fields);
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: arbitrary streamable values in one row.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(values));
+    (fields.push_back(to_field(values)), ...);
+    write_row(fields);
+  }
+
+private:
+  template <typename T>
+  static std::string to_field(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string{v};
+    } else {
+      return std::to_string(v);
+    }
+  }
+  static std::string escape(std::string_view field);
+
+  std::ofstream file_;
+  std::ostream* out_;
+};
+
+/// Parse one CSV line into fields (handles double-quoted fields with "" as an
+/// escaped quote).  Exposed for testing.
+std::vector<std::string> split_csv_line(std::string_view line);
+
+/// Whole-file CSV reader; small traces fit easily in memory.
+class CsvReader {
+public:
+  explicit CsvReader(const std::filesystem::path& path);
+
+  /// Next row, or nullopt at EOF.  Blank lines are skipped.
+  std::optional<std::vector<std::string>> next();
+
+private:
+  std::ifstream in_;
+};
+
+} // namespace spindown::util

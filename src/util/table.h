@@ -1,0 +1,47 @@
+// table.h — aligned console tables for bench/example output.
+//
+// The benches print the same series the paper plots; a readable fixed-width
+// table is the terminal equivalent of a figure.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spindown::util {
+
+class TablePrinter {
+public:
+  /// Column headers fix the column count; extra row cells are dropped,
+  /// missing ones rendered empty.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: arbitrary streamable values.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(cellify(values)), ...);
+    add_row(std::move(cells));
+  }
+
+  /// Render with a header rule; columns padded to max width + 2.
+  void print(std::ostream& out) const;
+
+private:
+  template <typename T>
+  static std::string cellify(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string{v};
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace spindown::util

@@ -1,0 +1,37 @@
+#include "util/units.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace spindown::util {
+
+std::string format_double(double v, int max_decimals) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", max_decimals, v);
+  std::string s{buf.data()};
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string format_bytes(Bytes b) {
+  const double v = static_cast<double>(b);
+  if (b >= kTB) return format_double(v / static_cast<double>(kTB), 2) + " TB";
+  if (b >= kGB) return format_double(v / static_cast<double>(kGB), 2) + " GB";
+  if (b >= kMB) return format_double(v / static_cast<double>(kMB), 2) + " MB";
+  if (b >= kKB) return format_double(v / static_cast<double>(kKB), 2) + " KB";
+  return format_double(v, 0) + " B";
+}
+
+std::string format_seconds(Seconds s) {
+  const double a = std::abs(s);
+  if (a >= kHour) return format_double(s / kHour, 2) + " h";
+  if (a >= kMinute) return format_double(s / kMinute, 2) + " min";
+  if (a >= 1.0) return format_double(s, 2) + " s";
+  return format_double(s * 1000.0, 2) + " ms";
+}
+
+} // namespace spindown::util

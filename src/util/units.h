@@ -1,0 +1,47 @@
+// units.h — unit conventions and formatting helpers used across the library.
+//
+// The paper (and disk vendors) use SI units: 1 MB = 1e6 bytes, the Seagate
+// ST3500630AS is "500 GB" = 5e11 bytes and transfers 72 MB/s = 7.2e7 B/s.
+// We therefore keep *all* byte quantities in SI and all times in seconds
+// (double).  Energies are Joules, powers are Watts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spindown::util {
+
+/// Bytes are exact; use a 64-bit unsigned integer everywhere.
+using Bytes = std::uint64_t;
+
+/// Simulated time, wall-clock seconds since simulation start.
+using Seconds = double;
+
+/// Power in Watts and energy in Joules (1 J = 1 W * 1 s).
+using Watts = double;
+using Joules = double;
+
+inline constexpr Bytes kKB = 1'000ULL;
+inline constexpr Bytes kMB = 1'000'000ULL;
+inline constexpr Bytes kGB = 1'000'000'000ULL;
+inline constexpr Bytes kTB = 1'000'000'000'000ULL;
+
+inline constexpr Seconds kMinute = 60.0;
+inline constexpr Seconds kHour = 3600.0;
+inline constexpr Seconds kDay = 86400.0;
+
+/// Convenience constructors so call sites read like the paper's tables.
+constexpr Bytes mb(double v) { return static_cast<Bytes>(v * static_cast<double>(kMB)); }
+constexpr Bytes gb(double v) { return static_cast<Bytes>(v * static_cast<double>(kGB)); }
+constexpr Bytes tb(double v) { return static_cast<Bytes>(v * static_cast<double>(kTB)); }
+
+/// "544 MB", "12.86 TB", "970 B" — human-readable SI formatting.
+std::string format_bytes(Bytes b);
+
+/// "53.3 s", "1.5 h", "12 ms" — pick the natural time unit.
+std::string format_seconds(Seconds s);
+
+/// Fixed-precision double without trailing-zero noise ("0.85", "12").
+std::string format_double(double v, int max_decimals = 3);
+
+} // namespace spindown::util

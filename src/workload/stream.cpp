@@ -1,0 +1,40 @@
+#include "workload/stream.h"
+
+#include <stdexcept>
+
+namespace spindown::workload {
+
+PoissonZipfStream::PoissonZipfStream(const FileCatalog& catalog, double rate,
+                                     double horizon, util::Rng rng)
+    : catalog_(catalog), arrivals_(rate), horizon_(horizon), rng_(rng) {
+  if (catalog.empty()) {
+    throw std::invalid_argument{"PoissonZipfStream: empty catalog"};
+  }
+  const auto probs = catalog.popularity_vector();
+  file_choice_ = util::AliasTable{probs};
+}
+
+std::optional<Request> PoissonZipfStream::next() {
+  const double t = arrivals_.next_arrival(rng_);
+  if (t >= horizon_) return std::nullopt;
+  Request r;
+  r.id = next_id_++;
+  r.arrival = t;
+  r.file = static_cast<FileId>(file_choice_.sample(rng_));
+  return r;
+}
+
+TraceStream::TraceStream(const Trace& trace) : trace_(trace) {}
+
+std::optional<Request> TraceStream::next() {
+  if (pos_ >= trace_.size()) return std::nullopt;
+  const auto& rec = trace_.records()[pos_];
+  Request r;
+  r.id = pos_;
+  r.arrival = rec.time;
+  r.file = rec.file;
+  ++pos_;
+  return r;
+}
+
+} // namespace spindown::workload

@@ -1,0 +1,66 @@
+// stream.h — request streams: the simulation's pull interface for arrivals.
+//
+// Two implementations:
+//   * PoissonZipfStream — Table 1's generator: Poisson arrivals at rate R,
+//     each request picking a file by Zipf popularity (O(1) alias sampling).
+//   * TraceStream — replays a Trace (used for the NERSC experiments, where
+//     "all of the 115,832 requests are regenerated based on the time in the
+//     real life workload data").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/distributions.h"
+#include "workload/trace.h"
+
+namespace spindown::workload {
+
+struct Request {
+  std::uint64_t id = 0;   ///< dense sequence number, 0-based
+  double arrival = 0.0;   ///< seconds from simulation start
+  FileId file = 0;
+};
+
+/// Pull-based stream of requests in non-decreasing arrival order.
+class RequestStream {
+public:
+  virtual ~RequestStream() = default;
+  /// Next request, or nullopt when the stream is exhausted.
+  virtual std::optional<Request> next() = 0;
+};
+
+/// Table 1 generator: Poisson(R) arrivals, Zipf file choice.
+class PoissonZipfStream final : public RequestStream {
+public:
+  /// Generates until `horizon` seconds (exclusive).  The catalog's
+  /// popularity vector defines the file-choice distribution.
+  PoissonZipfStream(const FileCatalog& catalog, double rate, double horizon,
+                    util::Rng rng);
+
+  std::optional<Request> next() override;
+
+private:
+  const FileCatalog& catalog_;
+  PoissonProcess arrivals_;
+  double horizon_;
+  util::Rng rng_;
+  util::AliasTable file_choice_;
+  std::uint64_t next_id_ = 0;
+};
+
+/// Replays a trace verbatim.
+class TraceStream final : public RequestStream {
+public:
+  explicit TraceStream(const Trace& trace);
+
+  std::optional<Request> next() override;
+
+private:
+  const Trace& trace_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace spindown::workload

@@ -1,0 +1,152 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/csv.h"
+
+namespace spindown::workload {
+
+Trace::Trace(FileCatalog catalog, std::vector<TraceRecord> records)
+    : catalog_(std::move(catalog)), records_(std::move(records)) {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.time < b.time;
+                   });
+  for (const auto& r : records_) {
+    if (r.file >= catalog_.size()) {
+      throw std::invalid_argument{"Trace: record references unknown file"};
+    }
+  }
+}
+
+double Trace::duration() const {
+  return records_.empty() ? 0.0 : records_.back().time;
+}
+
+void Trace::save(const std::filesystem::path& stem) const {
+  {
+    util::CsvWriter cat{std::filesystem::path{stem.string() + ".catalog.csv"}};
+    cat.write_row({"id", "size_bytes", "popularity"});
+    for (const auto& f : catalog_.files()) {
+      cat.row(std::to_string(f.id), std::to_string(f.size),
+              std::to_string(f.popularity));
+    }
+  }
+  {
+    util::CsvWriter tr{std::filesystem::path{stem.string() + ".trace.csv"}};
+    tr.write_row({"time_s", "file_id"});
+    for (const auto& r : records_) {
+      tr.row(std::to_string(r.time), std::to_string(r.file));
+    }
+  }
+}
+
+Trace Trace::load(const std::filesystem::path& stem) {
+  std::vector<FileInfo> files;
+  {
+    util::CsvReader cat{std::filesystem::path{stem.string() + ".catalog.csv"}};
+    auto header = cat.next();
+    if (!header) throw std::runtime_error{"Trace::load: empty catalog csv"};
+    while (auto row = cat.next()) {
+      if (row->size() < 3) throw std::runtime_error{"Trace::load: bad catalog row"};
+      FileInfo f;
+      f.id = static_cast<FileId>(std::stoul((*row)[0]));
+      f.size = std::stoull((*row)[1]);
+      f.popularity = std::stod((*row)[2]);
+      files.push_back(f);
+    }
+  }
+  std::vector<TraceRecord> records;
+  {
+    util::CsvReader tr{std::filesystem::path{stem.string() + ".trace.csv"}};
+    auto header = tr.next();
+    if (!header) throw std::runtime_error{"Trace::load: empty trace csv"};
+    while (auto row = tr.next()) {
+      if (row->size() < 2) throw std::runtime_error{"Trace::load: bad trace row"};
+      records.push_back(TraceRecord{std::stod((*row)[0]),
+                                    static_cast<FileId>(std::stoul((*row)[1]))});
+    }
+  }
+  return Trace{FileCatalog{std::move(files)}, std::move(records)};
+}
+
+std::size_t TraceStats::min_disks(util::Bytes disk_capacity) const {
+  if (disk_capacity == 0) return 0;
+  return static_cast<std::size_t>(
+      std::ceil(static_cast<double>(total_catalog_bytes) /
+                static_cast<double>(disk_capacity)));
+}
+
+TraceStats analyze(const Trace& trace) {
+  TraceStats out;
+  out.requests = trace.size();
+  out.duration_s = trace.duration();
+  out.total_catalog_bytes = trace.catalog().total_bytes();
+  if (trace.empty()) return out;
+
+  std::unordered_set<FileId> distinct;
+  distinct.reserve(trace.catalog().size());
+  double bytes_sum = 0.0;
+  std::vector<double> access_count(trace.catalog().size(), 0.0);
+  for (const auto& r : trace.records()) {
+    distinct.insert(r.file);
+    bytes_sum += static_cast<double>(trace.catalog().by_id(r.file).size);
+    access_count[r.file] += 1.0;
+  }
+  out.distinct_files = distinct.size();
+  out.arrival_rate = out.duration_s > 0.0
+                         ? static_cast<double>(out.requests) / out.duration_s
+                         : 0.0;
+  out.mean_accessed_bytes = bytes_sum / static_cast<double>(out.requests);
+
+  // 80-bin log-spaced size histogram over the catalog, as in §5.1 ("we
+  // classified the 88,631 files into 80 bins by their size").
+  const double lo = std::max<double>(1.0, static_cast<double>(trace.catalog().min_size()));
+  const double hi = static_cast<double>(trace.catalog().max_size()) * 1.0001;
+  if (hi > lo) {
+    stats::LogHistogram hist{lo, hi, 80};
+    for (const auto& f : trace.catalog().files()) {
+      hist.add(static_cast<double>(f.size));
+    }
+    std::vector<double> xs, ys;
+    for (std::size_t i = 0; i < hist.bins(); ++i) {
+      if (hist.bin_count(i) > 0) {
+        xs.push_back(hist.bin_mid(i));
+        ys.push_back(static_cast<double>(hist.bin_count(i)) /
+                     static_cast<double>(hist.total()));
+      }
+    }
+    out.size_loglog_fit = util::log_log_fit(xs, ys);
+  }
+
+  // Pearson correlation of (size, access count) over files that were
+  // accessed at least once.
+  {
+    std::vector<double> sizes, counts;
+    for (const auto& f : trace.catalog().files()) {
+      if (access_count[f.id] > 0.0) {
+        sizes.push_back(static_cast<double>(f.size));
+        counts.push_back(access_count[f.id]);
+      }
+    }
+    if (sizes.size() >= 2) {
+      const double ms = util::mean(sizes);
+      const double mc = util::mean(counts);
+      double num = 0, ds = 0, dc = 0;
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        num += (sizes[i] - ms) * (counts[i] - mc);
+        ds += (sizes[i] - ms) * (sizes[i] - ms);
+        dc += (counts[i] - mc) * (counts[i] - mc);
+      }
+      if (ds > 0 && dc > 0) {
+        out.size_frequency_correlation = num / std::sqrt(ds * dc);
+      }
+    }
+  }
+  return out;
+}
+
+} // namespace spindown::workload

@@ -1,0 +1,71 @@
+// trace.h — request traces: the unit of exchange between workload generation
+// and simulation.
+//
+// A Trace is a time-ordered list of read requests against a FileCatalog.
+// Traces can be generated (Poisson/Zipf or the NERSC synthesizer), saved to
+// and loaded from CSV, and summarized (the statistics the paper reports for
+// its NERSC log: distinct files, arrival rate, mean accessed size, size
+// histogram across 80 bins and its log-log linearity).
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "util/math.h"
+#include "workload/catalog.h"
+
+namespace spindown::workload {
+
+struct TraceRecord {
+  double time = 0.0; ///< arrival, seconds from trace start
+  FileId file = 0;
+};
+
+class Trace {
+public:
+  Trace() = default;
+  Trace(FileCatalog catalog, std::vector<TraceRecord> records);
+
+  const FileCatalog& catalog() const { return catalog_; }
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// End time of the trace (time of the last record; 0 if empty).
+  double duration() const;
+
+  /// Persist as two CSVs: <stem>.catalog.csv (id,size,popularity) and
+  /// <stem>.trace.csv (time,file).  Throws on I/O failure.
+  void save(const std::filesystem::path& stem) const;
+  static Trace load(const std::filesystem::path& stem);
+
+private:
+  FileCatalog catalog_;
+  std::vector<TraceRecord> records_; // sorted by time at construction
+};
+
+/// Aggregate statistics, mirroring §5.1's description of the NERSC log.
+struct TraceStats {
+  std::size_t requests = 0;
+  std::size_t distinct_files = 0;
+  double duration_s = 0.0;
+  double arrival_rate = 0.0;       ///< requests per second
+  double mean_accessed_bytes = 0;  ///< mean size over *requests*
+  util::Bytes total_catalog_bytes = 0;
+  /// Minimum disk count to store every requested file (paper: 95).
+  std::size_t min_disks(util::Bytes disk_capacity) const;
+  /// Log-log fit of the 80-bin size histogram (slope < 0, r2 near 1 for a
+  /// Zipf-like size distribution — the paper's §5.1 observation).
+  util::LinearFit size_loglog_fit;
+  /// Pearson correlation between file size and access count (paper: "no
+  /// significant relationship").
+  double size_frequency_correlation = 0.0;
+};
+
+/// Compute the statistics over a trace (uses 80 log-spaced size bins as in
+/// the paper's analysis).
+TraceStats analyze(const Trace& trace);
+
+} // namespace spindown::workload

@@ -1,0 +1,69 @@
+#include "cache/lfu.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace spindown::cache {
+namespace {
+
+TEST(LfuCache, MissThenHitTracksFrequency) {
+  LfuCache c{100};
+  EXPECT_FALSE(c.access(1, 40));
+  EXPECT_TRUE(c.access(1, 40));
+  EXPECT_TRUE(c.access(1, 40));
+  EXPECT_EQ(c.frequency(1), 3u);
+  EXPECT_EQ(c.frequency(99), 0u);
+}
+
+TEST(LfuCache, EvictsLeastFrequentlyUsed) {
+  LfuCache c{100};
+  c.access(1, 40);
+  c.access(1, 40);
+  c.access(1, 40); // freq 3
+  c.access(2, 40); // freq 1
+  c.access(3, 40); // evicts 2 (lowest frequency)
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(LfuCache, TieBrokenByRecency) {
+  LfuCache c{100};
+  c.access(1, 40); // freq 1, older
+  c.access(2, 40); // freq 1, newer
+  c.access(3, 40); // tie at freq 1: evict 1 (least recently touched)
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+}
+
+TEST(LfuCache, FrequentItemSurvivesScan) {
+  // The classic LFU advantage: a one-pass scan of cold files must not evict
+  // the hot item (it would under LRU).
+  LfuCache c{3 * 10};
+  for (int i = 0; i < 5; ++i) c.access(100, 10);
+  for (workload::FileId f = 0; f < 50; ++f) c.access(f, 10);
+  EXPECT_TRUE(c.contains(100));
+}
+
+TEST(LfuCache, OversizedNeverAdmitted) {
+  LfuCache c{50};
+  EXPECT_FALSE(c.access(9, 100));
+  EXPECT_FALSE(c.contains(9));
+  EXPECT_EQ(c.entries(), 0u);
+}
+
+TEST(LfuCache, CapacityInvariantUnderChurn) {
+  LfuCache c{700};
+  util::Rng rng{13};
+  for (int i = 0; i < 5000; ++i) {
+    c.access(static_cast<workload::FileId>(rng.uniform_int(0, 79)),
+             rng.uniform_int(1, 300));
+    ASSERT_LE(c.used(), 700u);
+  }
+  // Internal bookkeeping agrees.
+  EXPECT_GT(c.entries(), 0u);
+}
+
+} // namespace
+} // namespace spindown::cache

@@ -1,0 +1,71 @@
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pack_disks.h"
+#include "instance_helpers.h"
+
+namespace spindown::core {
+namespace {
+
+using testing::random_instance;
+
+TEST(BoundReport, EmptyInstance) {
+  const auto r = bound_report(std::vector<Item>{});
+  EXPECT_EQ(r.lower_bound, 0u);
+  EXPECT_DOUBLE_EQ(r.total_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.guarantee, 1.0); // 1 + 0/(1-0)
+}
+
+TEST(BoundReport, SimpleTotals) {
+  const std::vector<Item> items{{0.6, 0.3, 0}, {0.9, 0.2, 1}};
+  const auto r = bound_report(items);
+  EXPECT_DOUBLE_EQ(r.total_s, 1.5);
+  EXPECT_DOUBLE_EQ(r.total_l, 0.5);
+  EXPECT_EQ(r.lower_bound, 2u); // ceil(1.5)
+  EXPECT_DOUBLE_EQ(r.rho, 0.9);
+  EXPECT_NEAR(r.guarantee, 1.0 + 1.5 / 0.1, 1e-9);
+}
+
+TEST(BoundReport, LoadDominatedInstance) {
+  const std::vector<Item> items{{0.1, 0.8, 0}, {0.1, 0.8, 1}, {0.1, 0.8, 2}};
+  const auto r = bound_report(items);
+  EXPECT_EQ(r.lower_bound, 3u); // ceil(2.4)
+}
+
+TEST(BoundReport, RhoOneGivesInfiniteGuarantee) {
+  const std::vector<Item> items{{1.0, 0.0, 0}};
+  const auto r = bound_report(items);
+  EXPECT_TRUE(std::isinf(r.guarantee));
+  EXPECT_TRUE(within_guarantee(r, 1'000'000));
+}
+
+TEST(BoundReport, ExactIntegerBoundaryDoesNotOverCeil) {
+  // total exactly 2.0 must give lower bound 2, not 3.
+  const std::vector<Item> items{{0.5, 0.0, 0}, {0.5, 0.0, 1},
+                                {0.5, 0.0, 2}, {0.5, 0.0, 3}};
+  EXPECT_EQ(bound_report(items).lower_bound, 2u);
+}
+
+TEST(WithinGuarantee, BoundaryInclusive) {
+  BoundReport r;
+  r.guarantee = 5.0;
+  EXPECT_TRUE(within_guarantee(r, 5));
+  EXPECT_FALSE(within_guarantee(r, 6));
+}
+
+TEST(Bounds, LowerBoundIsActuallyALowerBound) {
+  // No allocator can beat ceil(max(sum s, sum l)); verify against
+  // Pack_Disks across seeds.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto items = random_instance(400, 0.2, seed);
+    PackDisks pd;
+    const auto a = pd.allocate(items);
+    EXPECT_GE(a.disk_count, bound_report(items).lower_bound) << seed;
+  }
+}
+
+} // namespace
+} // namespace spindown::core

@@ -1,0 +1,80 @@
+// equivalence_test.cpp — the O(n log n) Pack_Disks must make *identical*
+// packing decisions to the O(n^2) Chang–Hwang–Park reference (§3.1: the
+// improvement is purely a data-structure change), and Pack_Disks_v with
+// v = 1 must reduce to Pack_Disks.
+#include <gtest/gtest.h>
+
+#include "core/chang_reference.h"
+#include "core/pack_disks.h"
+#include "core/pack_grouped.h"
+#include "instance_helpers.h"
+
+namespace spindown::core {
+namespace {
+
+using testing::random_instance;
+using testing::skewed_instance;
+
+struct EquivCase {
+  std::size_t n;
+  double max_coord;
+  std::uint64_t seed;
+  bool skewed;
+};
+
+class PackingEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(PackingEquivalence, FastMatchesReference) {
+  const auto& c = GetParam();
+  const auto items = c.skewed ? skewed_instance(c.n, c.max_coord, c.seed)
+                              : random_instance(c.n, c.max_coord, c.seed);
+  PackDisks fast;
+  ChangHwangPark reference;
+  const auto a = fast.allocate(items);
+  const auto b = reference.allocate(items);
+  ASSERT_EQ(a.disk_count, b.disk_count);
+  EXPECT_EQ(a.disk_of, b.disk_of);
+}
+
+TEST_P(PackingEquivalence, GroupOfOneMatchesPackDisks) {
+  const auto& c = GetParam();
+  const auto items = c.skewed ? skewed_instance(c.n, c.max_coord, c.seed)
+                              : random_instance(c.n, c.max_coord, c.seed);
+  PackDisks plain;
+  PackDisksGrouped grouped{1};
+  const auto a = plain.allocate(items);
+  const auto b = grouped.allocate(items);
+  ASSERT_EQ(a.disk_count, b.disk_count);
+  EXPECT_EQ(a.disk_of, b.disk_of);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, PackingEquivalence,
+    ::testing::Values(EquivCase{1, 0.5, 1, false},
+                      EquivCase{2, 0.5, 2, false},
+                      EquivCase{10, 0.4, 3, false},
+                      EquivCase{100, 0.3, 4, false},
+                      EquivCase{100, 0.05, 5, false},
+                      EquivCase{500, 0.1, 6, false},
+                      EquivCase{1000, 0.02, 7, false},
+                      EquivCase{250, 0.7, 8, false},
+                      EquivCase{500, 0.2, 9, true},
+                      EquivCase{1000, 0.08, 10, true},
+                      EquivCase{333, 0.33, 11, true},
+                      EquivCase{2000, 0.01, 12, true}));
+
+TEST(PackingEquivalence, TieHeavyInstance) {
+  // Many identical items: tie-breaking by index must keep both
+  // implementations in lockstep.
+  std::vector<Item> items;
+  for (std::uint32_t i = 0; i < 200; ++i) items.push_back({0.21, 0.21, i});
+  for (std::uint32_t i = 200; i < 400; ++i) items.push_back({0.1, 0.3, i});
+  PackDisks fast;
+  ChangHwangPark reference;
+  const auto a = fast.allocate(items);
+  const auto b = reference.allocate(items);
+  EXPECT_EQ(a.disk_of, b.disk_of);
+}
+
+} // namespace
+} // namespace spindown::core

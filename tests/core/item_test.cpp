@@ -1,0 +1,79 @@
+#include "core/item.h"
+
+#include <gtest/gtest.h>
+
+namespace spindown::core {
+namespace {
+
+TEST(Item, IntensityClassification) {
+  EXPECT_TRUE((Item{0.5, 0.3, 0}).size_intensive());
+  EXPECT_TRUE((Item{0.5, 0.5, 0}).size_intensive()); // ties are ST per §3.1
+  EXPECT_FALSE((Item{0.3, 0.5, 0}).size_intensive());
+}
+
+TEST(Item, HeapKeys) {
+  const Item it{0.7, 0.2, 0};
+  EXPECT_DOUBLE_EQ(it.s_key(), 0.5);
+  EXPECT_DOUBLE_EQ(it.l_key(), -0.5);
+}
+
+TEST(Rho, MaxCoordinate) {
+  const std::vector<Item> items{{0.1, 0.6, 0}, {0.4, 0.2, 1}};
+  EXPECT_DOUBLE_EQ(rho(items), 0.6);
+  EXPECT_DOUBLE_EQ(rho(std::vector<Item>{}), 0.0);
+}
+
+TEST(Sums, Totals) {
+  const std::vector<Item> items{{0.1, 0.6, 0}, {0.4, 0.2, 1}};
+  const auto t = sums(items);
+  EXPECT_DOUBLE_EQ(t.total_s, 0.5);
+  EXPECT_DOUBLE_EQ(t.total_l, 0.8);
+}
+
+TEST(DiskTotals, PerDiskAccumulation) {
+  const std::vector<Item> items{{0.1, 0.2, 0}, {0.3, 0.4, 1}, {0.2, 0.1, 2}};
+  Assignment a;
+  a.disk_of = {0, 1, 0};
+  a.disk_count = 2;
+  const auto totals = disk_totals(a, items);
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_DOUBLE_EQ(totals[0].s, 0.3);
+  EXPECT_DOUBLE_EQ(totals[0].l, 0.3);
+  EXPECT_EQ(totals[0].items, 2u);
+  EXPECT_DOUBLE_EQ(totals[1].s, 0.3);
+  EXPECT_EQ(totals[1].items, 1u);
+}
+
+TEST(ValidateInstance, AcceptsUnitSquare) {
+  const std::vector<Item> ok{{0.0, 0.0, 0}, {1.0, 1.0, 1}, {0.5, 0.2, 2}};
+  EXPECT_NO_THROW(validate_instance(ok));
+}
+
+TEST(ValidateInstance, RejectsOutOfRange) {
+  EXPECT_THROW(validate_instance(std::vector<Item>{{1.5, 0.1, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(validate_instance(std::vector<Item>{{0.1, -0.1, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(validate_instance(std::vector<Item>{
+                   {std::numeric_limits<double>::quiet_NaN(), 0.1, 0}}),
+               std::invalid_argument);
+}
+
+TEST(IsFeasible, DetectsOverflowAndBadIndices) {
+  const std::vector<Item> items{{0.6, 0.1, 0}, {0.6, 0.1, 1}};
+  Assignment together;
+  together.disk_of = {0, 0};
+  together.disk_count = 1;
+  EXPECT_FALSE(is_feasible(together, items)); // 1.2 > 1 in s
+  Assignment split;
+  split.disk_of = {0, 1};
+  split.disk_count = 2;
+  EXPECT_TRUE(is_feasible(split, items));
+  Assignment dangling;
+  dangling.disk_of = {0, 5};
+  dangling.disk_count = 2;
+  EXPECT_FALSE(is_feasible(dangling, items));
+}
+
+} // namespace
+} // namespace spindown::core

@@ -1,0 +1,98 @@
+#include "core/maid.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace spindown::core {
+namespace {
+
+workload::FileCatalog skewed(std::size_t n, util::Bytes size) {
+  std::vector<workload::FileInfo> files(n);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) norm += 1.0 / static_cast<double>(i + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    files[i].id = static_cast<workload::FileId>(i);
+    files[i].size = size;
+    files[i].popularity = 1.0 / static_cast<double>(i + 1) / norm;
+  }
+  return workload::FileCatalog{files};
+}
+
+TEST(BuildMaid, RejectsZeroDataDisks) {
+  const auto cat = skewed(10, util::gb(1.0));
+  EXPECT_THROW(build_maid(cat, 1, 0, util::gb(500.0)), std::invalid_argument);
+}
+
+TEST(BuildMaid, ThrowsWhenDataDoesNotFit) {
+  const auto cat = skewed(10, util::gb(100.0)); // 1 TB total
+  EXPECT_THROW(build_maid(cat, 0, 1, util::gb(500.0)), std::invalid_argument);
+}
+
+TEST(BuildMaid, HottestFilesLandOnCacheDisks) {
+  const auto cat = skewed(100, util::gb(10.0)); // 1 TB total
+  const auto m = build_maid(cat, 2, 4, util::gb(500.0));
+  EXPECT_EQ(m.total_disks, 6u);
+  EXPECT_EQ(m.cache_disks, 2u);
+  // Cache capacity = 2 * 500 GB = 100 files' worth; everything fits, but the
+  // hottest files must be cached first and served from disks [0, 2).
+  ASSERT_FALSE(m.cached_files.empty());
+  EXPECT_EQ(m.cached_files.front(), 0u); // hottest file cached first
+  EXPECT_LT(m.mapping[0], 2u);
+  // Cached popularity is the head of the Zipf curve: substantial.
+  EXPECT_GT(m.cached_popularity, 0.5);
+}
+
+TEST(BuildMaid, UncachedFilesKeepDataDiskHomes) {
+  const auto cat = skewed(200, util::gb(10.0)); // 2 TB
+  const auto m = build_maid(cat, 1, 4, util::gb(500.0));
+  // One 500 GB cache disk holds 50 files; the rest live on data disks.
+  std::size_t on_cache = 0, on_data = 0;
+  for (const auto d : m.mapping) {
+    if (d < m.cache_disks) {
+      ++on_cache;
+    } else {
+      ++on_data;
+      EXPECT_LT(d, m.total_disks);
+    }
+  }
+  EXPECT_EQ(on_cache, m.cached_files.size());
+  EXPECT_EQ(on_cache + on_data, cat.size());
+  EXPECT_EQ(on_cache, 50u);
+}
+
+TEST(BuildMaid, CacheDisksRespectCapacity) {
+  // 30 files x 9 GB = 270 GB of data on 4 x 100 GB data disks; the two
+  // 100 GB cache disks can only take ~11 files each.
+  const auto cat = skewed(30, util::gb(9.0));
+  const auto m = build_maid(cat, 2, 4, util::gb(100.0));
+  std::vector<util::Bytes> used(m.total_disks, 0);
+  for (const auto& f : cat.files()) {
+    if (m.mapping[f.id] < m.cache_disks) used[m.mapping[f.id]] += f.size;
+  }
+  for (std::uint32_t d = 0; d < m.cache_disks; ++d) {
+    EXPECT_LE(used[d], util::gb(100.0));
+  }
+}
+
+TEST(BuildMaid, NoCacheDisksMeansPureDataPlacement) {
+  const auto cat = skewed(50, util::gb(10.0));
+  const auto m = build_maid(cat, 0, 2, util::gb(500.0));
+  EXPECT_TRUE(m.cached_files.empty());
+  EXPECT_DOUBLE_EQ(m.cached_popularity, 0.0);
+  for (const auto d : m.mapping) {
+    EXPECT_GE(d, 0u);
+    EXPECT_LT(d, 2u);
+  }
+}
+
+TEST(BuildMaid, DataPlacementRespectsCapacity) {
+  const auto cat = skewed(150, util::gb(9.0)); // 1.35 TB on 3 disks: tight
+  const auto m = build_maid(cat, 0, 3, util::gb(500.0));
+  std::vector<util::Bytes> used(3, 0);
+  for (const auto& f : cat.files()) used[m.mapping[f.id]] += f.size;
+  for (const auto u : used) EXPECT_LE(u, util::gb(500.0));
+}
+
+} // namespace
+} // namespace spindown::core

@@ -1,0 +1,115 @@
+// pack_audit_test.cpp — machine-check the paper's §3.1 lemmas on random
+// instances, and cross-validate the audited packer against PackDisks.
+#include "core/pack_audit.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pack_disks.h"
+#include "instance_helpers.h"
+
+namespace spindown::core {
+namespace {
+
+using testing::random_instance;
+using testing::skewed_instance;
+
+struct AuditCase {
+  std::size_t n;
+  double max_coord;
+  std::uint64_t seed;
+  bool skewed;
+};
+
+class LemmaAudit : public ::testing::TestWithParam<AuditCase> {};
+
+TEST_P(LemmaAudit, AllInvariantsHoldAndOutputsMatch) {
+  const auto& c = GetParam();
+  const auto items = c.skewed ? skewed_instance(c.n, c.max_coord, c.seed)
+                              : random_instance(c.n, c.max_coord, c.seed);
+  AuditReport report;
+  Assignment audited;
+  ASSERT_NO_THROW(audited = allocate_audited(items, report));
+
+  PackDisks fast;
+  const auto reference = fast.allocate(items);
+  ASSERT_EQ(audited.disk_count, reference.disk_count);
+  EXPECT_EQ(audited.disk_of, reference.disk_of);
+
+  // Lemma 7 accounting: each element is popped at most once per residence,
+  // and every eviction creates exactly one extra residence.
+  EXPECT_LE(report.steps + report.remaining_packed,
+            items.size() + report.evictions);
+  // Every eviction was lemma-checked and closed a complete disk.
+  EXPECT_EQ(report.evictions, report.lemma12_checks);
+  EXPECT_EQ(report.evictions, report.lemma34_checks);
+  // At most one disk incomplete in both dimensions (Lemma 6 / Theorem 1).
+  EXPECT_LE(report.incomplete_disks, 1u);
+  EXPECT_DOUBLE_EQ(report.rho, rho(items));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Instances, LemmaAudit,
+    ::testing::Values(AuditCase{1, 0.9, 1, false},
+                      AuditCase{10, 0.5, 2, false},
+                      AuditCase{100, 0.3, 3, false},
+                      AuditCase{500, 0.1, 4, false},
+                      AuditCase{1000, 0.05, 5, false},
+                      AuditCase{2000, 0.02, 6, false},
+                      AuditCase{200, 0.8, 7, false},
+                      AuditCase{500, 0.2, 8, true},
+                      AuditCase{1000, 0.1, 9, true},
+                      AuditCase{1500, 0.04, 10, true}));
+
+TEST(LemmaAudit, ManySeedsSweep) {
+  // Breadth over depth: quick audits across many seeds and shapes.
+  for (std::uint64_t seed = 100; seed < 160; ++seed) {
+    const double max_coord = 0.01 + 0.015 * static_cast<double>(seed % 60);
+    const auto items = random_instance(300, max_coord, seed);
+    AuditReport report;
+    ASSERT_NO_THROW(allocate_audited(items, report)) << "seed " << seed;
+  }
+}
+
+TEST(LemmaAudit, EvictionHeavyInstanceExercisesLemmas) {
+  // Alternating large size-heavy and load-heavy items force evictions;
+  // the audit must see some and verify the completeness each time.
+  std::vector<Item> items;
+  std::uint32_t idx = 0;
+  for (int i = 0; i < 100; ++i) {
+    items.push_back({0.45, 0.02, idx++});
+    items.push_back({0.02, 0.45, idx++});
+    items.push_back({0.35, 0.3, idx++});
+  }
+  AuditReport report;
+  const auto a = allocate_audited(items, report);
+  EXPECT_TRUE(is_feasible(a, items));
+  EXPECT_GT(report.steps, 0u);
+  // The report's closed-complete count never exceeds total disks.
+  EXPECT_LE(report.disks_closed_complete, a.disk_count);
+}
+
+TEST(LemmaAudit, EmptyInstance) {
+  AuditReport report;
+  const auto a = allocate_audited(std::vector<Item>{}, report);
+  EXPECT_EQ(a.disk_count, 0u);
+  EXPECT_EQ(report.steps, 0u);
+}
+
+TEST(LemmaAudit, ClosedDisksAreWellFilled) {
+  // min over closed disks of max(S, L) should clear 1 - rho when more than
+  // one disk was used (only the final disk may be emptier).
+  const auto items = random_instance(3000, 0.05, 42);
+  AuditReport report;
+  const auto a = allocate_audited(items, report);
+  ASSERT_GT(a.disk_count, 2u);
+  // All but at most one disk reach the threshold in some dimension.
+  const auto totals = disk_totals(a, items);
+  std::size_t under = 0;
+  for (const auto& d : totals) {
+    if (std::max(d.s, d.l) < (1.0 - report.rho) - 1e-9) ++under;
+  }
+  EXPECT_LE(under, 1u);
+}
+
+} // namespace
+} // namespace spindown::core

@@ -1,0 +1,160 @@
+#include "core/queueing.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pack_disks.h"
+#include "sys/experiment.h"
+#include "util/units.h"
+
+namespace spindown::core {
+namespace {
+
+workload::FileCatalog single_file_catalog(util::Bytes size) {
+  std::vector<workload::FileInfo> files{{0, size, 1.0}};
+  return workload::FileCatalog{files};
+}
+
+TEST(PredictMg1, MD1ClosedForm) {
+  // One file, one disk: M/D/1 (deterministic service).
+  //   W_q = lambda * S^2 / (2 (1 - rho)).
+  const auto cat = single_file_catalog(util::mb(72.0)); // ~1.0127 s service
+  LoadModel model;
+  model.rate = 0.5;
+  model.load_fraction = 1.0;
+  Assignment a;
+  a.disk_of = {0};
+  a.disk_count = 1;
+  const auto q = predict_mg1(cat, a, model);
+  const double S = model.disk.service_time(util::mb(72.0));
+  const double rho = 0.5 * S;
+  const double wq = 0.5 * S * S / (2.0 * (1.0 - rho));
+  ASSERT_EQ(q.disks.size(), 1u);
+  EXPECT_NEAR(q.disks[0].utilization, rho, 1e-12);
+  EXPECT_NEAR(q.disks[0].mean_wait, wq, 1e-12);
+  EXPECT_NEAR(q.mean_response, wq + S, 1e-12);
+  EXPECT_TRUE(q.stable);
+}
+
+TEST(PredictMg1, UnstableDiskFlagged) {
+  const auto cat = single_file_catalog(util::mb(720.0)); // 10 s service
+  LoadModel model;
+  model.rate = 0.2; // rho = 2 > 1
+  model.load_fraction = 1.0;
+  // Bypass normalize (which would reject l > 1): direct assignment.
+  Assignment a;
+  a.disk_of = {0};
+  a.disk_count = 1;
+  const auto q = predict_mg1(cat, a, model);
+  EXPECT_FALSE(q.stable);
+  EXPECT_FALSE(q.disks[0].stable);
+  EXPECT_TRUE(std::isinf(q.mean_response));
+}
+
+TEST(PredictMg1, TrafficSplitsByMapping) {
+  std::vector<workload::FileInfo> files{
+      {0, util::mb(72.0), 0.75},
+      {1, util::mb(72.0), 0.25},
+  };
+  const workload::FileCatalog cat{files};
+  LoadModel model;
+  model.rate = 0.4;
+  Assignment a;
+  a.disk_of = {0, 1};
+  a.disk_count = 2;
+  const auto q = predict_mg1(cat, a, model);
+  EXPECT_NEAR(q.disks[0].arrival_rate, 0.3, 1e-12);
+  EXPECT_NEAR(q.disks[1].arrival_rate, 0.1, 1e-12);
+  EXPECT_GT(q.disks[0].mean_wait, q.disks[1].mean_wait);
+}
+
+TEST(PredictMg1, ZeroTrafficDiskIgnored) {
+  std::vector<workload::FileInfo> files{
+      {0, util::mb(72.0), 1.0},
+      {1, util::mb(72.0), 0.0}, // stored but never read
+  };
+  const workload::FileCatalog cat{files};
+  LoadModel model;
+  model.rate = 0.1;
+  Assignment a;
+  a.disk_of = {0, 1};
+  a.disk_count = 2;
+  const auto q = predict_mg1(cat, a, model);
+  EXPECT_DOUBLE_EQ(q.disks[1].arrival_rate, 0.0);
+  EXPECT_DOUBLE_EQ(q.disks[1].mean_response, 0.0);
+  EXPECT_TRUE(q.stable);
+  EXPECT_GT(q.mean_response, 0.0);
+}
+
+TEST(PredictMg1, ValidatesArguments) {
+  const auto cat = single_file_catalog(util::mb(10.0));
+  LoadModel model;
+  Assignment too_small;
+  too_small.disk_count = 1;
+  EXPECT_THROW(predict_mg1(cat, too_small, model), std::invalid_argument);
+  Assignment bad_disk;
+  bad_disk.disk_of = {3};
+  bad_disk.disk_count = 1;
+  EXPECT_THROW(predict_mg1(cat, bad_disk, model), std::invalid_argument);
+}
+
+TEST(PredictMg1, MatchesSimulationAtModerateLoad) {
+  // End-to-end cross-validation: prediction within ~15% of the simulator
+  // for a packed placement with never-spin-down disks (the regime the
+  // formula models).
+  workload::SyntheticSpec spec = workload::SyntheticSpec::paper_table1();
+  spec.n_files = 2000;
+  util::Rng rng{5};
+  const auto cat = workload::generate_catalog(spec, rng);
+  LoadModel model;
+  model.rate = 1.0;
+  model.load_fraction = 0.5; // keeps every disk comfortably stable
+  PackDisks pack;
+  const auto a = pack.allocate(normalize(cat, model));
+
+  const auto predicted = predict_mg1(cat, a, model);
+  ASSERT_TRUE(predicted.stable);
+
+  sys::ExperimentConfig cfg;
+  cfg.catalog = &cat;
+  cfg.mapping = a.disk_of;
+  cfg.num_disks = a.disk_count;
+  cfg.policy = sys::PolicySpec::never();
+  cfg.workload = sys::WorkloadSpec::poisson(model.rate, 20'000.0);
+  cfg.seed = 5;
+  const auto sim = sys::run_experiment(cfg);
+
+  EXPECT_NEAR(predicted.mean_response, sim.response.mean(),
+              sim.response.mean() * 0.15)
+      << "predicted=" << predicted.mean_response
+      << " simulated=" << sim.response.mean();
+}
+
+// Utilization must never exceed the packing's load constraint by more than
+// rounding: the L knob really does bound rho (the paper's premise that L
+// controls response time).
+class LoadConstraintBoundsUtilization
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoadConstraintBoundsUtilization, RhoWithinL) {
+  workload::SyntheticSpec spec = workload::SyntheticSpec::paper_table1();
+  spec.n_files = 3000;
+  util::Rng rng{7};
+  const auto cat = workload::generate_catalog(spec, rng);
+  LoadModel model;
+  model.rate = 1.0;
+  model.load_fraction = GetParam();
+  PackDisks pack;
+  const auto a = pack.allocate(normalize(cat, model));
+  const auto q = predict_mg1(cat, a, model);
+  // Every disk's utilization is at most L (normalization bounds sum l <= 1
+  // in units of L).
+  for (const auto& d : q.disks) {
+    EXPECT_LE(d.utilization, GetParam() + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, LoadConstraintBoundsUtilization,
+                         ::testing::Values(0.4, 0.6, 0.8));
+
+} // namespace
+} // namespace spindown::core

@@ -1,0 +1,86 @@
+#include "core/random_alloc.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "instance_helpers.h"
+
+namespace spindown::core {
+namespace {
+
+using testing::random_instance;
+
+TEST(RandomAllocator, RejectsZeroDisks) {
+  EXPECT_THROW((RandomAllocator{0, 1}), std::invalid_argument);
+}
+
+TEST(RandomAllocator, UsesConfiguredDiskCount) {
+  RandomAllocator r{50, 7};
+  const auto items = random_instance(500, 0.05, 3);
+  const auto a = r.allocate(items);
+  EXPECT_EQ(a.disk_count, 50u);
+  for (const auto d : a.disk_of) EXPECT_LT(d, 50u);
+}
+
+TEST(RandomAllocator, SpreadsAcrossDisks) {
+  RandomAllocator r{20, 11};
+  const auto items = random_instance(2000, 0.01, 5);
+  const auto a = r.allocate(items);
+  std::set<std::uint32_t> used(a.disk_of.begin(), a.disk_of.end());
+  EXPECT_EQ(used.size(), 20u); // every disk touched with 2000 items
+}
+
+TEST(RandomAllocator, RoughlyUniformOccupancy) {
+  RandomAllocator r{10, 13};
+  const auto items = random_instance(10'000, 0.001, 7);
+  const auto a = r.allocate(items);
+  std::vector<int> counts(10, 0);
+  for (const auto d : a.disk_of) ++counts[d];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 1000.0, 150.0);
+  }
+}
+
+TEST(RandomAllocator, DeterministicGivenSeed) {
+  RandomAllocator r{25, 17};
+  const auto items = random_instance(300, 0.1, 9);
+  EXPECT_EQ(r.allocate(items).disk_of, r.allocate(items).disk_of);
+}
+
+TEST(RandomAllocator, DifferentSeedsDiffer) {
+  const auto items = random_instance(300, 0.1, 9);
+  RandomAllocator a{25, 1}, b{25, 2};
+  EXPECT_NE(a.allocate(items).disk_of, b.allocate(items).disk_of);
+}
+
+TEST(RandomAllocator, RespectsSizeCapacity) {
+  // Tight instance: 20 items of size 0.5 into 10 disks — exactly 2 each.
+  std::vector<Item> items;
+  for (std::uint32_t i = 0; i < 20; ++i) items.push_back({0.5, 0.0, i});
+  RandomAllocator r{10, 19};
+  const auto a = r.allocate(items);
+  std::vector<double> used(10, 0.0);
+  for (const auto& it : items) used[a.disk_of[it.index]] += it.s;
+  for (const double u : used) EXPECT_LE(u, 1.0 + 1e-9);
+}
+
+TEST(RandomAllocator, ThrowsWhenInstanceCannotFit) {
+  std::vector<Item> items;
+  for (std::uint32_t i = 0; i < 21; ++i) items.push_back({0.5, 0.0, i});
+  RandomAllocator r{10, 23}; // 10.5 disks of size demand into 10 disks
+  EXPECT_THROW(r.allocate(items), std::runtime_error);
+}
+
+TEST(RandomAllocator, IgnoresLoadDimension) {
+  // Random placement is oblivious to load (like the paper's baseline): an
+  // instance whose load sums far beyond the farm still allocates.
+  std::vector<Item> items;
+  for (std::uint32_t i = 0; i < 40; ++i) items.push_back({0.01, 0.9, i});
+  RandomAllocator r{4, 29};
+  const auto a = r.allocate(items);
+  EXPECT_EQ(a.disk_count, 4u); // feasible in size; load overflows by design
+}
+
+} // namespace
+} // namespace spindown::core

@@ -1,0 +1,152 @@
+#include "core/reorganizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pack_disks.h"
+#include "util/units.h"
+#include "workload/catalog.h"
+
+namespace spindown::core {
+namespace {
+
+workload::FileCatalog catalog_of(std::size_t n, util::Bytes size_each) {
+  std::vector<workload::FileInfo> files(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    files[i].id = static_cast<workload::FileId>(i);
+    files[i].size = size_each;
+    files[i].popularity = 1.0 / static_cast<double>(n);
+  }
+  return workload::FileCatalog{files};
+}
+
+LoadModel mild_model() {
+  LoadModel m;
+  m.rate = 0.1;
+  m.load_fraction = 0.9;
+  return m;
+}
+
+TEST(RelabelForOverlap, IdentityWhenNothingChanges) {
+  const auto cat = catalog_of(4, util::gb(10.0));
+  Assignment current;
+  current.disk_of = {0, 0, 1, 1};
+  current.disk_count = 2;
+  // New packing identical up to disk renaming.
+  Assignment next;
+  next.disk_of = {1, 1, 0, 0};
+  next.disk_count = 2;
+  const auto relabeled = relabel_for_overlap(current, next, cat);
+  EXPECT_EQ(relabeled.disk_of, current.disk_of); // fully matched, zero moves
+}
+
+TEST(RelabelForOverlap, MaximizesByteOverlap) {
+  std::vector<workload::FileInfo> files{
+      {0, util::gb(100.0), 0.25},
+      {1, util::gb(1.0), 0.25},
+      {2, util::gb(1.0), 0.25},
+      {3, util::gb(100.0), 0.25},
+  };
+  const workload::FileCatalog cat{files};
+  Assignment current;
+  current.disk_of = {0, 0, 1, 1};
+  current.disk_count = 2;
+  // New disks group {0,2} and {1,3}: by bytes, new disk 0 overlaps old 0
+  // (100 GB via file 0), new disk 1 overlaps old 1 (100 GB via file 3).
+  Assignment next;
+  next.disk_of = {0, 1, 0, 1};
+  next.disk_count = 2;
+  const auto relabeled = relabel_for_overlap(current, next, cat);
+  EXPECT_EQ(relabeled.disk_of[0], 0u);
+  EXPECT_EQ(relabeled.disk_of[3], 1u);
+}
+
+TEST(RelabelForOverlap, GrowingDiskCountGetsFreshLabels) {
+  const auto cat = catalog_of(3, util::gb(1.0));
+  Assignment current;
+  current.disk_of = {0, 0, 0};
+  current.disk_count = 1;
+  Assignment next;
+  next.disk_of = {0, 1, 2};
+  next.disk_count = 3;
+  const auto relabeled = relabel_for_overlap(current, next, cat);
+  EXPECT_EQ(relabeled.disk_count, 3u);
+  // All labels distinct.
+  EXPECT_NE(relabeled.disk_of[0], relabeled.disk_of[1]);
+  EXPECT_NE(relabeled.disk_of[1], relabeled.disk_of[2]);
+}
+
+TEST(Reorganizer, ValidatesInputs) {
+  const auto cat = catalog_of(4, util::gb(10.0));
+  Reorganizer reorg{mild_model()};
+  Assignment current;
+  current.disk_of = {0, 0, 0, 0};
+  current.disk_count = 1;
+  std::vector<std::uint64_t> wrong_len{1, 1};
+  EXPECT_THROW(reorg.plan(cat, wrong_len, 100.0, current),
+               std::invalid_argument);
+  std::vector<std::uint64_t> counts{1, 1, 1, 1};
+  EXPECT_THROW(reorg.plan(cat, counts, 0.0, current), std::invalid_argument);
+  std::vector<std::uint64_t> zeros{0, 0, 0, 0};
+  EXPECT_THROW(reorg.plan(cat, zeros, 100.0, current), std::invalid_argument);
+}
+
+TEST(Reorganizer, EstimatesRateFromWindow) {
+  const auto cat = catalog_of(10, util::gb(5.0));
+  Reorganizer reorg{mild_model()};
+  Assignment current;
+  current.disk_of.assign(10, 0);
+  current.disk_count = 1;
+  std::vector<std::uint64_t> counts(10, 5); // 50 accesses over 500 s
+  const auto plan = reorg.plan(cat, counts, 500.0, current);
+  EXPECT_DOUBLE_EQ(plan.estimated_rate, 0.1);
+  EXPECT_EQ(plan.disks_before, 1u);
+  EXPECT_GE(plan.disks_after, 1u);
+}
+
+TEST(Reorganizer, StablePlacementMovesNothing) {
+  // If the observed counts reproduce the popularity the current packing was
+  // built from, re-packing should land on the same layout and move nothing.
+  const auto cat = catalog_of(50, util::gb(8.0));
+  const auto model = mild_model();
+  const auto items = normalize(cat, model);
+  PackDisks pd;
+  const auto current = pd.allocate(items);
+
+  std::vector<std::uint64_t> counts(50, 4); // uniform, matching the catalog
+  Reorganizer reorg{model};
+  // Window chosen so the observed rate equals the model rate: 50*4/2000.
+  const auto plan = reorg.plan(cat, counts, 2000.0, current);
+  EXPECT_EQ(plan.bytes_moved, 0u);
+  EXPECT_TRUE(plan.moved.empty());
+}
+
+TEST(Reorganizer, PopularityShiftTriggersMoves) {
+  const auto cat = catalog_of(60, util::gb(8.0));
+  const auto model = mild_model();
+  PackDisks pd;
+  const auto current = pd.allocate(normalize(cat, model));
+
+  // The window observed a drastically different popularity profile: file 59
+  // got hot, the first half went cold.  (Kept mild enough that no single
+  // file's load exceeds one disk — that would be unallocatable.)
+  std::vector<std::uint64_t> counts(60, 0);
+  for (std::size_t i = 30; i < 60; ++i) counts[i] = 1;
+  counts[59] = 20;
+  Reorganizer reorg{model};
+  const auto plan = reorg.plan(cat, counts, 3000.0, current);
+  // Loads were re-estimated, so feasibility is relative to the observed
+  // instance; sizes are invariant, so per-disk space must still fit.
+  std::vector<double> disk_bytes(plan.next.disk_count, 0.0);
+  for (const auto& f : cat.files()) {
+    ASSERT_LT(plan.next.disk_of[f.id], plan.next.disk_count);
+    disk_bytes[plan.next.disk_of[f.id]] += static_cast<double>(f.size);
+  }
+  for (const double b : disk_bytes) {
+    EXPECT_LE(b, static_cast<double>(model.disk.capacity) * (1.0 + 1e-9));
+  }
+  EXPECT_GT(plan.moved.size(), 0u);
+  EXPECT_EQ(plan.bytes_moved, plan.moved.size() * util::gb(8.0));
+}
+
+} // namespace
+} // namespace spindown::core

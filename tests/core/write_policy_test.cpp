@@ -1,0 +1,98 @@
+#include "core/write_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace spindown::core {
+namespace {
+
+TEST(WritePlacer, RejectsZeroDisks) {
+  EXPECT_THROW((WritePlacer{0, util::gb(1.0), FitRule::kFirstFit}),
+               std::invalid_argument);
+}
+
+TEST(WritePlacer, PrefersSpinningDiskEvenIfLaterDiskIsEmptier) {
+  WritePlacer p{3, 100, FitRule::kFirstFit};
+  p.add_used(0, 90);
+  // Disk 0 nearly full but spinning; disks 1, 2 empty but in standby.
+  const std::vector<bool> spinning{true, false, false};
+  const auto d = p.place(10, spinning);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 0u);
+}
+
+TEST(WritePlacer, FallsBackToStandbyDiskWhenSpinningFull) {
+  WritePlacer p{3, 100, FitRule::kFirstFit};
+  p.add_used(0, 95);
+  const std::vector<bool> spinning{true, false, false};
+  const auto d = p.place(10, spinning);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 1u); // first standby disk with room
+}
+
+TEST(WritePlacer, BestFitPicksTightestSpinningDisk) {
+  WritePlacer p{3, 100, FitRule::kBestFit};
+  p.add_used(0, 50);
+  p.add_used(1, 80); // tightest feasible for a 10-byte write
+  p.add_used(2, 20);
+  const std::vector<bool> spinning{true, true, true};
+  const auto d = p.place(10, spinning);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 1u);
+}
+
+TEST(WritePlacer, FirstFitPicksLowestIndex) {
+  WritePlacer p{3, 100, FitRule::kFirstFit};
+  p.add_used(0, 50);
+  p.add_used(1, 80);
+  const std::vector<bool> spinning{true, true, true};
+  EXPECT_EQ(*p.place(10, spinning), 0u);
+}
+
+TEST(WritePlacer, PlacementConsumesSpace) {
+  WritePlacer p{1, 100, FitRule::kFirstFit};
+  const std::vector<bool> spinning{true};
+  EXPECT_EQ(*p.place(60, spinning), 0u);
+  EXPECT_EQ(p.free_on(0), 40u);
+  EXPECT_FALSE(p.place(60, spinning).has_value()); // no longer fits
+}
+
+TEST(WritePlacer, NulloptWhenNothingFits) {
+  WritePlacer p{2, 50, FitRule::kBestFit};
+  p.add_used(0, 45);
+  p.add_used(1, 45);
+  EXPECT_FALSE(p.place(10, {true, true}).has_value());
+}
+
+TEST(WritePlacer, AddUsedOverCapacityThrows) {
+  WritePlacer p{1, 100, FitRule::kFirstFit};
+  EXPECT_THROW(p.add_used(0, 150), std::invalid_argument);
+  EXPECT_THROW(p.add_used(5, 1), std::out_of_range);
+}
+
+TEST(WritePlacer, ShortSpinningVectorTreatedAsStandby) {
+  WritePlacer p{3, 100, FitRule::kFirstFit};
+  // Spinning info only covers disk 0; the rest default to standby.
+  const auto d = p.place(10, std::vector<bool>{false});
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 0u); // all standby: plain first fit
+}
+
+TEST(WritePlacer, EnergyFriendlySequenceAvoidsSpinUps) {
+  // A stream of writes with one spinning disk should land entirely on it
+  // until it fills, mirroring §1.1's prescription.
+  WritePlacer p{4, 100, FitRule::kFirstFit};
+  const std::vector<bool> spinning{false, false, true, false};
+  int on_spinning = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto d = p.place(10, spinning);
+    ASSERT_TRUE(d.has_value());
+    if (*d == 2) ++on_spinning;
+  }
+  EXPECT_EQ(on_spinning, 10);
+  EXPECT_EQ(p.free_on(2), 0u);
+}
+
+} // namespace
+} // namespace spindown::core

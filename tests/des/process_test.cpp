@@ -1,0 +1,116 @@
+#include "des/process.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spindown::des {
+namespace {
+
+Process simple_waiter(Simulation& sim, std::vector<double>& log) {
+  log.push_back(sim.now());
+  co_await delay(sim, 5.0);
+  log.push_back(sim.now());
+  co_await delay(sim, 2.5);
+  log.push_back(sim.now());
+}
+
+TEST(Process, DelaysAdvanceSimTime) {
+  Simulation sim;
+  std::vector<double> log;
+  spawn(sim, simple_waiter(sim, log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<double>{0.0, 5.0, 7.5}));
+}
+
+Process zero_delay(Simulation& sim, int& steps) {
+  co_await delay(sim, 0.0); // ready immediately, no suspension
+  ++steps;
+}
+
+TEST(Process, ZeroDelayDoesNotSuspend) {
+  Simulation sim;
+  int steps = 0;
+  spawn(sim, zero_delay(sim, steps));
+  sim.run();
+  EXPECT_EQ(steps, 1);
+}
+
+Process ping(Simulation& sim, std::vector<std::string>& log, double period,
+             std::string name, int reps) {
+  for (int i = 0; i < reps; ++i) {
+    co_await delay(sim, period);
+    log.push_back(name);
+  }
+}
+
+TEST(Process, InterleavingIsDeterministic) {
+  Simulation sim;
+  std::vector<std::string> log;
+  spawn(sim, ping(sim, log, 2.0, "fast", 3)); // t = 2, 4, 6
+  spawn(sim, ping(sim, log, 3.0, "slow", 2)); // t = 3, 6
+  sim.run();
+  // Both fire at t = 6; "slow" scheduled its t = 6 wake-up at t = 3, before
+  // "fast" did at t = 4, so FIFO tie-breaking runs "slow" first.
+  EXPECT_EQ(log, (std::vector<std::string>{"fast", "slow", "fast", "slow",
+                                           "fast"}));
+}
+
+Process waits_for(Simulation& sim, Trigger& t, std::vector<double>& log) {
+  co_await t.wait(sim);
+  log.push_back(sim.now());
+}
+
+Process fires(Simulation& sim, Trigger& t, double at) {
+  co_await delay(sim, at);
+  t.fire(sim);
+}
+
+TEST(Trigger, WakesAllWaitersAtFireTime) {
+  Simulation sim;
+  Trigger t;
+  std::vector<double> log;
+  spawn(sim, waits_for(sim, t, log));
+  spawn(sim, waits_for(sim, t, log));
+  spawn(sim, fires(sim, t, 4.0));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<double>{4.0, 4.0}));
+  EXPECT_TRUE(t.fired());
+}
+
+TEST(Trigger, WaitAfterFireCompletesImmediately) {
+  Simulation sim;
+  Trigger t;
+  std::vector<double> log;
+  spawn(sim, fires(sim, t, 1.0));
+  sim.run();
+  spawn(sim, waits_for(sim, t, log));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<double>{1.0})); // completes at current time
+}
+
+TEST(Trigger, DoubleFireIsIdempotent) {
+  Simulation sim;
+  Trigger t;
+  t.fire(sim);
+  t.fire(sim);
+  sim.run();
+  EXPECT_TRUE(t.fired());
+}
+
+Process spawner(Simulation& sim, std::vector<double>& log) {
+  spawn(sim, simple_waiter(sim, log)); // nested spawn from inside a process
+  co_await delay(sim, 1.0);
+}
+
+TEST(Process, NestedSpawnWorks) {
+  Simulation sim;
+  std::vector<double> log;
+  spawn(sim, spawner(sim, log));
+  sim.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_DOUBLE_EQ(log.back(), 7.5);
+}
+
+} // namespace
+} // namespace spindown::des

@@ -1,0 +1,211 @@
+#include "disk/disk.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/units.h"
+
+namespace spindown::disk {
+namespace {
+
+class DiskFixture : public ::testing::Test {
+protected:
+  des::Simulation sim_;
+  DiskParams params_ = DiskParams::st3500630as();
+  std::vector<Completion> completions_;
+
+  std::unique_ptr<Disk> make_disk(std::unique_ptr<SpinDownPolicy> policy) {
+    auto d = std::make_unique<Disk>(sim_, 0, params_, std::move(policy),
+                                    util::Rng{1});
+    d->set_completion_callback(
+        [this](const Completion& c) { completions_.push_back(c); });
+    return d;
+  }
+};
+
+TEST_F(DiskFixture, SingleRequestServiceTime) {
+  auto d = make_disk(make_never_policy());
+  const util::Bytes size = util::mb(72.0); // exactly 1 s transfer
+  sim_.schedule_at(0.0, [&] { d->submit(7, size); });
+  sim_.run();
+  ASSERT_EQ(completions_.size(), 1u);
+  const auto& c = completions_[0];
+  EXPECT_EQ(c.request_id, 7u);
+  EXPECT_DOUBLE_EQ(c.arrival, 0.0);
+  EXPECT_NEAR(c.completion, params_.service_time(size), 1e-12);
+  EXPECT_NEAR(c.response_time(), 1.0 + params_.position_time(), 1e-12);
+  EXPECT_DOUBLE_EQ(c.wait_time(), 0.0);
+}
+
+TEST_F(DiskFixture, FcfsQueueing) {
+  auto d = make_disk(make_never_policy());
+  const util::Bytes size = util::mb(72.0);
+  sim_.schedule_at(0.0, [&] {
+    d->submit(0, size);
+    d->submit(1, size);
+    d->submit(2, size);
+  });
+  sim_.run();
+  ASSERT_EQ(completions_.size(), 3u);
+  const double unit = params_.service_time(size);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(completions_[i].request_id, static_cast<std::uint64_t>(i));
+    EXPECT_NEAR(completions_[i].completion, unit * (i + 1), 1e-9);
+  }
+  // Queue wait grows linearly.
+  EXPECT_NEAR(completions_[2].wait_time(), 2 * unit, 1e-9);
+}
+
+TEST_F(DiskFixture, SpinsDownAfterThreshold) {
+  auto d = make_disk(make_fixed_policy(20.0));
+  sim_.schedule_at(0.0, [&] { d->submit(0, util::mb(72.0)); });
+  sim_.run();
+  EXPECT_EQ(d->state(), PowerState::kStandby);
+  const auto m = d->metrics(sim_.now());
+  EXPECT_EQ(m.spin_downs, 1u);
+  EXPECT_EQ(m.spin_ups, 0u);
+  EXPECT_NEAR(m.time_in(PowerState::kIdle), 20.0, 1e-9);
+  EXPECT_NEAR(m.time_in(PowerState::kSpinningDown), params_.spindown_s, 1e-9);
+}
+
+TEST_F(DiskFixture, RequestToStandbyDiskPaysSpinUp) {
+  auto d = make_disk(make_fixed_policy(20.0));
+  const util::Bytes size = util::mb(72.0);
+  sim_.schedule_at(0.0, [&] { d->submit(0, size); });
+  const double t2 = 100.0; // disk is long in standby by then
+  sim_.schedule_at(t2, [&] { d->submit(1, size); });
+  sim_.run();
+  ASSERT_EQ(completions_.size(), 2u);
+  EXPECT_NEAR(completions_[1].response_time(),
+              params_.spinup_s + params_.service_time(size), 1e-9);
+  EXPECT_EQ(d->metrics(sim_.now()).spin_ups, 1u);
+}
+
+TEST_F(DiskFixture, ArrivalDuringSpinDownWaitsForFullRoundTrip) {
+  auto d = make_disk(make_fixed_policy(20.0));
+  const util::Bytes size = util::mb(72.0);
+  sim_.schedule_at(0.0, [&] { d->submit(0, size); });
+  const double svc = params_.service_time(size);
+  const double mid_spin_down = svc + 20.0 + 5.0; // 5 s into the spin-down
+  sim_.schedule_at(mid_spin_down, [&] { d->submit(1, size); });
+  sim_.run();
+  ASSERT_EQ(completions_.size(), 2u);
+  // Must wait the remaining 5 s of spin-down, then the 15 s spin-up.
+  const double expected_response = 5.0 + params_.spinup_s + svc;
+  EXPECT_NEAR(completions_[1].response_time(), expected_response, 1e-9);
+  const auto m = d->metrics(sim_.now());
+  EXPECT_NEAR(m.time_in(PowerState::kStandby), 0.0, 1e-9);
+}
+
+TEST_F(DiskFixture, ArrivalDuringIdleCancelsSpinDown) {
+  auto d = make_disk(make_fixed_policy(20.0));
+  const util::Bytes size = util::mb(72.0);
+  sim_.schedule_at(0.0, [&] { d->submit(0, size); });
+  const double svc = params_.service_time(size);
+  sim_.schedule_at(svc + 10.0, [&] { d->submit(1, size); }); // idle 10 < 20
+  sim_.schedule_at(svc + 10.0 + svc + 100.0, [&] {});        // run long enough
+  sim_.run();
+  const auto m = d->metrics(sim_.now());
+  // Exactly one spin-down (after the second service), none between requests.
+  EXPECT_EQ(m.spin_downs, 1u);
+  EXPECT_EQ(m.spin_ups, 0u);
+  ASSERT_EQ(completions_.size(), 2u);
+  EXPECT_NEAR(completions_[1].response_time(), svc, 1e-9);
+}
+
+TEST_F(DiskFixture, NeverPolicyNeverSpinsDown) {
+  auto d = make_disk(make_never_policy());
+  sim_.schedule_at(0.0, [&] { d->submit(0, util::mb(10.0)); });
+  sim_.schedule_at(10'000.0, [&] {});
+  sim_.run();
+  EXPECT_EQ(d->state(), PowerState::kIdle);
+  EXPECT_EQ(d->metrics(sim_.now()).spin_downs, 0u);
+}
+
+TEST_F(DiskFixture, ImmediateSpinDownPolicy) {
+  auto d = make_disk(make_fixed_policy(0.0));
+  // The disk starts idle: it should begin spinning down at t = 0.
+  sim_.run();
+  EXPECT_EQ(d->state(), PowerState::kStandby);
+  EXPECT_EQ(d->metrics(sim_.now()).spin_downs, 1u);
+}
+
+TEST_F(DiskFixture, EnergyIntegrationMatchesHandComputation) {
+  auto d = make_disk(make_fixed_policy(30.0));
+  const util::Bytes size = util::mb(144.0); // 2 s transfer
+  sim_.schedule_at(0.0, [&] { d->submit(0, size); });
+  sim_.run();
+  // Timeline: position (12.66 ms) + transfer (2 s) + idle 30 s +
+  // spin-down 10 s; the run ends in standby with zero standby time.
+  const auto m = d->metrics(sim_.now());
+  const double expected = params_.position_time() * params_.seek_w +
+                          2.0 * params_.active_w + 30.0 * params_.idle_w +
+                          params_.spindown_s * params_.spindown_w;
+  EXPECT_NEAR(m.energy(params_), expected, 1e-9);
+}
+
+TEST_F(DiskFixture, MetricsSnapshotAtIntermediateTime) {
+  auto d = make_disk(make_never_policy());
+  sim_.schedule_at(0.0, [&] { d->submit(0, util::mb(720.0)); }); // 10 s
+  sim_.schedule_at(5.0, [&] {
+    const auto m = d->metrics(sim_.now());
+    EXPECT_NEAR(m.busy_time(), 5.0, 1e-9);
+    EXPECT_EQ(m.served, 0u); // still transferring
+  });
+  sim_.run();
+  const auto m = d->metrics(sim_.now());
+  EXPECT_EQ(m.served, 1u);
+  EXPECT_EQ(m.bytes_served, util::mb(720.0));
+}
+
+TEST_F(DiskFixture, IdleGapsRecordedBetweenArrivals) {
+  auto d = make_disk(make_never_policy());
+  const util::Bytes size = util::mb(72.0);
+  const double svc = params_.service_time(size);
+  sim_.schedule_at(0.0, [&] { d->submit(0, size); });
+  sim_.schedule_at(svc + 40.0, [&] { d->submit(1, size); });
+  sim_.run();
+  // Gap 0: [0, 0) before the first request (disk idle from t = 0);
+  // gap 1: 40 s between first completion and second arrival.
+  ASSERT_EQ(d->idle_gaps().size(), 2u);
+  EXPECT_NEAR(d->idle_gaps()[0], 0.0, 1e-12);
+  EXPECT_NEAR(d->idle_gaps()[1], 40.0, 1e-9);
+}
+
+TEST_F(DiskFixture, BurstDuringSpinUpQueuesAll) {
+  auto d = make_disk(make_fixed_policy(5.0));
+  const util::Bytes size = util::mb(72.0);
+  sim_.schedule_at(0.0, [&] { d->submit(0, size); });
+  // Disk reaches standby at svc + 5 + 10; burst arrives at 50.
+  sim_.schedule_at(50.0, [&] {
+    d->submit(1, size);
+    d->submit(2, size);
+    d->submit(3, size);
+  });
+  sim_.run();
+  ASSERT_EQ(completions_.size(), 4u);
+  const double svc = params_.service_time(size);
+  // One spin-up for the whole burst; responses stack behind it.
+  EXPECT_EQ(d->metrics(sim_.now()).spin_ups, 1u);
+  EXPECT_NEAR(completions_[1].response_time(), params_.spinup_s + svc, 1e-9);
+  EXPECT_NEAR(completions_[3].response_time(), params_.spinup_s + 3 * svc,
+              1e-9);
+}
+
+TEST_F(DiskFixture, ManyCyclesCountSpinEvents) {
+  auto d = make_disk(make_fixed_policy(10.0));
+  const util::Bytes size = util::mb(72.0);
+  // Requests spaced far enough apart that the disk standby-cycles each time.
+  for (int i = 0; i < 5; ++i) {
+    sim_.schedule_at(100.0 * i, [&, i] { d->submit(i, size); });
+  }
+  sim_.run();
+  const auto m = d->metrics(sim_.now());
+  EXPECT_EQ(m.served, 5u);
+  EXPECT_EQ(m.spin_downs, 5u);
+  EXPECT_EQ(m.spin_ups, 4u); // the first request found the disk idle
+}
+
+} // namespace
+} // namespace spindown::disk

@@ -1,0 +1,71 @@
+#include "disk/params.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace spindown::disk {
+namespace {
+
+TEST(DiskParams, Table2Values) {
+  const auto p = DiskParams::st3500630as();
+  EXPECT_EQ(p.capacity, util::gb(500.0));
+  EXPECT_DOUBLE_EQ(p.avg_seek_s, 0.0085);
+  EXPECT_DOUBLE_EQ(p.avg_rotation_s, 0.00416);
+  EXPECT_DOUBLE_EQ(p.transfer_bps, 72.0e6);
+  EXPECT_DOUBLE_EQ(p.idle_w, 9.3);
+  EXPECT_DOUBLE_EQ(p.standby_w, 0.8);
+  EXPECT_DOUBLE_EQ(p.active_w, 13.0);
+  EXPECT_DOUBLE_EQ(p.seek_w, 12.6);
+  EXPECT_DOUBLE_EQ(p.spinup_w, 24.0);
+  EXPECT_DOUBLE_EQ(p.spindown_w, 9.3);
+  EXPECT_DOUBLE_EQ(p.spinup_s, 15.0);
+  EXPECT_DOUBLE_EQ(p.spindown_s, 10.0);
+}
+
+TEST(DiskParams, BreakEvenMatchesTable2) {
+  // Table 2's "Idleness threshold: 53.3 secs" is the break-even point:
+  // (9.3*10 + 24*15) / (9.3 - 0.8) = 53.29 s.
+  const auto p = DiskParams::st3500630as();
+  EXPECT_NEAR(p.break_even_threshold(), 53.3, 0.05);
+  EXPECT_DOUBLE_EQ(p.transition_energy(), 9.3 * 10.0 + 24.0 * 15.0);
+}
+
+TEST(DiskParams, ServiceTimeComposition) {
+  const auto p = DiskParams::st3500630as();
+  // The paper's example: a 544 MB file takes ~7.56 s at 72 MB/s.
+  EXPECT_NEAR(p.transfer_time(util::mb(544.0)), 7.56, 0.01);
+  EXPECT_DOUBLE_EQ(p.position_time(), 0.0085 + 0.00416);
+  EXPECT_DOUBLE_EQ(p.service_time(util::mb(72.0)),
+                   p.position_time() + 1.0);
+}
+
+TEST(DiskParams, ZeroByteServiceIsJustPositioning) {
+  const auto p = DiskParams::st3500630as();
+  EXPECT_DOUBLE_EQ(p.service_time(0), p.position_time());
+}
+
+TEST(DiskParams, BreakEvenScalesWithPowerGap) {
+  auto p = DiskParams::st3500630as();
+  const double base = p.break_even_threshold();
+  p.standby_w = 5.0; // smaller idle->standby saving => longer break-even
+  EXPECT_GT(p.break_even_threshold(), base);
+}
+
+TEST(DiskParams, LaptopProfileIsCheaperToCycle) {
+  const auto desktop = DiskParams::st3500630as();
+  const auto laptop = DiskParams::laptop_2_5in();
+  // The low-power profile transitions far more cheaply and therefore has a
+  // much shorter break-even threshold — the device-level trend the paper's
+  // introduction describes.
+  EXPECT_LT(laptop.transition_energy(), desktop.transition_energy() / 10.0);
+  EXPECT_LT(laptop.break_even_threshold(), desktop.break_even_threshold() / 2.0);
+  EXPECT_LT(laptop.idle_w, desktop.idle_w);
+  EXPECT_LT(laptop.standby_w, desktop.standby_w);
+  // But it is slower: lower transfer rate, higher positioning latency.
+  EXPECT_LT(laptop.transfer_bps, desktop.transfer_bps);
+  EXPECT_GT(laptop.position_time(), desktop.position_time());
+}
+
+} // namespace
+} // namespace spindown::disk

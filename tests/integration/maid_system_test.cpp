@@ -1,0 +1,98 @@
+// maid_system_test.cpp — MAID placement driven through the full system:
+// cache disks pinned always-on via policy overrides, data disks sleeping.
+#include <gtest/gtest.h>
+
+#include "core/maid.h"
+#include "sys/experiment.h"
+#include "util/units.h"
+#include "workload/catalog.h"
+
+namespace spindown {
+namespace {
+
+workload::FileCatalog zipf_catalog(std::size_t n) {
+  workload::SyntheticSpec spec = workload::SyntheticSpec::paper_table1();
+  spec.n_files = n;
+  util::Rng rng{21};
+  return workload::generate_catalog(spec, rng);
+}
+
+class MaidSystem : public ::testing::Test {
+protected:
+  sys::RunResult run_maid(const workload::FileCatalog& cat,
+                          const core::MaidPlacement& maid, double rate,
+                          double horizon) {
+    sys::ExperimentConfig cfg;
+    cfg.catalog = &cat;
+    cfg.mapping = maid.mapping;
+    cfg.num_disks = maid.total_disks;
+    for (std::uint32_t d = 0; d < maid.cache_disks; ++d) {
+      cfg.policy_overrides.emplace_back(d, sys::PolicySpec::never());
+    }
+    cfg.workload = sys::WorkloadSpec::poisson(rate, horizon);
+    cfg.seed = 9;
+    return sys::run_experiment(cfg);
+  }
+};
+
+TEST_F(MaidSystem, CacheDisksNeverSpinDown) {
+  const auto cat = zipf_catalog(800);
+  const auto maid =
+      core::build_maid(cat, 2, 8, disk::DiskParams::st3500630as().capacity);
+  const auto r = run_maid(cat, maid, 0.2, 3000.0);
+
+  // Cache disks (0, 1) must never enter standby; their spin-down counters
+  // stay at zero.
+  for (std::uint32_t d = 0; d < 2; ++d) {
+    EXPECT_EQ(r.per_disk[d].spin_downs, 0u) << "cache disk " << d;
+    EXPECT_DOUBLE_EQ(r.per_disk[d].time_in(disk::PowerState::kStandby), 0.0);
+  }
+  // With a Zipf head absorbed by the cache, at least one data disk slept.
+  std::uint64_t data_spin_downs = 0;
+  for (std::uint32_t d = 2; d < r.per_disk.size(); ++d) {
+    data_spin_downs += r.per_disk[d].spin_downs;
+  }
+  EXPECT_GT(data_spin_downs, 0u);
+}
+
+TEST_F(MaidSystem, CacheAbsorbsTheHead) {
+  const auto cat = zipf_catalog(800);
+  const auto maid =
+      core::build_maid(cat, 2, 8, disk::DiskParams::st3500630as().capacity);
+  const auto r = run_maid(cat, maid, 0.2, 3000.0);
+
+  // Requests served by the cache disks should be close to the placement's
+  // cached popularity mass.
+  std::uint64_t cache_served = 0, total_served = 0;
+  for (std::uint32_t d = 0; d < r.per_disk.size(); ++d) {
+    total_served += r.per_disk[d].served;
+    if (d < maid.cache_disks) cache_served += r.per_disk[d].served;
+  }
+  ASSERT_GT(total_served, 100u);
+  const double cache_share =
+      static_cast<double>(cache_served) / static_cast<double>(total_served);
+  EXPECT_NEAR(cache_share, maid.cached_popularity, 0.05);
+}
+
+TEST_F(MaidSystem, MoreCacheDisksMoreSaving) {
+  // MAID's knob: adding cache disks concentrates more of the head, letting
+  // more data disks sleep — up to the replication space cost.
+  const auto cat = zipf_catalog(800);
+  const auto params = disk::DiskParams::st3500630as();
+  const auto no_cache = core::build_maid(cat, 0, 8, params.capacity);
+  const auto with_cache = core::build_maid(cat, 2, 8, params.capacity);
+  const auto r0 = run_maid(cat, no_cache, 0.2, 3000.0);
+  const auto r2 = run_maid(cat, with_cache, 0.2, 3000.0);
+  // Energy on the *data* subset should drop when the cache absorbs reads.
+  double data0 = 0.0, data2 = 0.0;
+  for (std::uint32_t d = 0; d < r0.per_disk.size(); ++d) {
+    data0 += r0.per_disk[d].energy(params);
+  }
+  for (std::uint32_t d = with_cache.cache_disks; d < r2.per_disk.size(); ++d) {
+    data2 += r2.per_disk[d].energy(params);
+  }
+  EXPECT_LT(data2, data0);
+}
+
+} // namespace
+} // namespace spindown

@@ -1,0 +1,60 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace spindown::stats {
+namespace {
+
+TEST(ResponseSummary, Empty) {
+  ResponseSummary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(ResponseSummary, BasicMoments) {
+  ResponseSummary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(ResponseSummary, PercentilesOnUniformData) {
+  ResponseSummary s;
+  util::Rng rng{3};
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform(0.0, 100.0));
+  EXPECT_NEAR(s.p50(), 50.0, 1.0);
+  EXPECT_NEAR(s.p95(), 95.0, 1.0);
+  EXPECT_NEAR(s.p99(), 99.0, 1.0);
+}
+
+TEST(ResponseSummary, MergeApproximatesUnion) {
+  ResponseSummary a, b;
+  util::Rng rng{4};
+  for (int i = 0; i < 20000; ++i) a.add(rng.uniform(0.0, 10.0));
+  for (int i = 0; i < 20000; ++i) b.add(rng.uniform(10.0, 20.0));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 40000u);
+  EXPECT_NEAR(a.mean(), 10.0, 0.2);
+  EXPECT_NEAR(a.p50(), 10.0, 0.5);
+}
+
+TEST(ResponseSummary, BriefMentionsCountAndMean) {
+  ResponseSummary s;
+  s.add(2.0);
+  const auto text = s.brief();
+  EXPECT_NE(text.find("n=1"), std::string::npos);
+  EXPECT_NE(text.find("mean=2"), std::string::npos);
+}
+
+TEST(ResponseSummary, SubSecondResolution) {
+  ResponseSummary s;
+  for (int i = 0; i < 1000; ++i) s.add(0.05);
+  EXPECT_NEAR(s.p50(), 0.05, 0.1); // within one 0.1 s bin
+}
+
+} // namespace
+} // namespace spindown::stats

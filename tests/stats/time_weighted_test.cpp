@@ -1,0 +1,61 @@
+#include "stats/time_weighted.h"
+
+#include <gtest/gtest.h>
+
+namespace spindown::stats {
+namespace {
+
+enum class Mode : std::size_t { kA = 0, kB = 1, kC = 2 };
+
+TEST(TimeWeighted, AttributesDurationsToPreviousState) {
+  TimeWeighted<Mode, 3> tw{Mode::kA, 0.0};
+  tw.transition(5.0, Mode::kB);   // A held 5
+  tw.transition(7.5, Mode::kC);   // B held 2.5
+  tw.flush(10.0);                 // C held 2.5
+  EXPECT_DOUBLE_EQ(tw.time_in(Mode::kA), 5.0);
+  EXPECT_DOUBLE_EQ(tw.time_in(Mode::kB), 2.5);
+  EXPECT_DOUBLE_EQ(tw.time_in(Mode::kC), 2.5);
+  EXPECT_DOUBLE_EQ(tw.total(), 10.0);
+}
+
+TEST(TimeWeighted, NonZeroStart) {
+  TimeWeighted<Mode, 3> tw{Mode::kB, 100.0};
+  tw.flush(130.0);
+  EXPECT_DOUBLE_EQ(tw.time_in(Mode::kB), 30.0);
+  EXPECT_DOUBLE_EQ(tw.elapsed(), 30.0);
+}
+
+TEST(TimeWeighted, RepeatedFlushIsIdempotent) {
+  TimeWeighted<Mode, 3> tw{Mode::kA, 0.0};
+  tw.flush(4.0);
+  tw.flush(4.0);
+  EXPECT_DOUBLE_EQ(tw.time_in(Mode::kA), 4.0);
+}
+
+TEST(TimeWeighted, SelfTransitionAccumulates) {
+  TimeWeighted<Mode, 3> tw{Mode::kA, 0.0};
+  tw.transition(2.0, Mode::kA);
+  tw.transition(5.0, Mode::kA);
+  tw.flush(6.0);
+  EXPECT_DOUBLE_EQ(tw.time_in(Mode::kA), 6.0);
+}
+
+TEST(TimeWeighted, CurrentTracksLatestState) {
+  TimeWeighted<Mode, 3> tw{Mode::kA, 0.0};
+  EXPECT_EQ(tw.current(), Mode::kA);
+  tw.transition(1.0, Mode::kC);
+  EXPECT_EQ(tw.current(), Mode::kC);
+}
+
+TEST(TimeWeighted, CopySnapshotDoesNotDisturbOriginal) {
+  TimeWeighted<Mode, 3> tw{Mode::kA, 0.0};
+  tw.transition(3.0, Mode::kB);
+  auto snap = tw;
+  snap.flush(10.0);
+  EXPECT_DOUBLE_EQ(snap.time_in(Mode::kB), 7.0);
+  tw.flush(4.0); // original still at last_change 3.0
+  EXPECT_DOUBLE_EQ(tw.time_in(Mode::kB), 1.0);
+}
+
+} // namespace
+} // namespace spindown::stats

@@ -1,0 +1,79 @@
+#include "stats/welford.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace spindown::stats {
+namespace {
+
+TEST(Welford, EmptyIsZero) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 0.0);
+  EXPECT_DOUBLE_EQ(w.max(), 0.0);
+}
+
+TEST(Welford, SingleSample) {
+  Welford w;
+  w.add(4.5);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 4.5);
+  EXPECT_DOUBLE_EQ(w.max(), 4.5);
+}
+
+TEST(Welford, KnownSeries) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 4.0); // classic population-variance example
+  EXPECT_DOUBLE_EQ(w.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+  EXPECT_DOUBLE_EQ(w.sum(), 40.0);
+}
+
+TEST(Welford, NumericallyStableOnShiftedData) {
+  // Large offset breaks naive sum-of-squares; Welford must not.
+  Welford w;
+  const double offset = 1e9;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) w.add(x);
+  EXPECT_NEAR(w.mean(), offset + 2.0, 1e-6);
+  EXPECT_NEAR(w.variance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(Welford, MergeMatchesSequential) {
+  util::Rng rng{5};
+  Welford all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Welford, MergeWithEmptySides) {
+  Welford a, b;
+  a.add(3.0);
+  a.merge(b); // empty rhs: no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a); // empty lhs: copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+} // namespace
+} // namespace spindown::stats

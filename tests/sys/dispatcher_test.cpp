@@ -1,0 +1,116 @@
+#include "sys/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+#include "cache/lru.h"
+#include "util/units.h"
+
+namespace spindown::sys {
+namespace {
+
+class DispatcherFixture : public ::testing::Test {
+protected:
+  DispatcherFixture() {
+    std::vector<workload::FileInfo> files{
+        {0, util::mb(72.0), 0.5},
+        {1, util::mb(144.0), 0.3},
+        {2, util::mb(36.0), 0.2},
+    };
+    catalog_ = workload::FileCatalog{files};
+    params_ = disk::DiskParams::st3500630as();
+    for (std::uint32_t i = 0; i < 2; ++i) {
+      disks_.push_back(std::make_unique<disk::Disk>(
+          sim_, i, params_, disk::make_never_policy(), util::Rng{i}));
+      disks_.back()->set_completion_callback(
+          [this](const disk::Completion& c) { completions_.push_back(c); });
+    }
+  }
+
+  std::vector<disk::Disk*> disk_ptrs() {
+    std::vector<disk::Disk*> out;
+    for (auto& d : disks_) out.push_back(d.get());
+    return out;
+  }
+
+  workload::Request req(std::uint64_t id, workload::FileId f, double t) {
+    workload::Request r;
+    r.id = id;
+    r.file = f;
+    r.arrival = t;
+    return r;
+  }
+
+  des::Simulation sim_;
+  workload::FileCatalog catalog_;
+  disk::DiskParams params_;
+  std::vector<std::unique_ptr<disk::Disk>> disks_;
+  std::vector<disk::Completion> completions_;
+};
+
+TEST_F(DispatcherFixture, RoutesByMappingTable) {
+  Dispatcher d{sim_, catalog_, {0, 1, 0}, disk_ptrs()};
+  sim_.schedule_at(0.0, [&] {
+    d.dispatch(req(0, 0, 0.0)); // disk 0
+    d.dispatch(req(1, 1, 0.0)); // disk 1
+    d.dispatch(req(2, 2, 0.0)); // disk 0
+  });
+  sim_.run();
+  ASSERT_EQ(completions_.size(), 3u);
+  EXPECT_EQ(d.dispatched(), 3u);
+  EXPECT_EQ(d.disk_of(1), 1u);
+  // Requests 0 and 2 serialized on disk 0; request 1 parallel on disk 1.
+  int disk0 = 0, disk1 = 0;
+  for (const auto& c : completions_) {
+    (c.disk_id == 0 ? disk0 : disk1)++;
+  }
+  EXPECT_EQ(disk0, 2);
+  EXPECT_EQ(disk1, 1);
+}
+
+TEST_F(DispatcherFixture, ValidatesMapping) {
+  EXPECT_THROW((Dispatcher{sim_, catalog_, {0}, disk_ptrs()}),
+               std::invalid_argument); // shorter than catalog
+  EXPECT_THROW((Dispatcher{sim_, catalog_, {0, 1, 7}, disk_ptrs()}),
+               std::invalid_argument); // unknown disk
+}
+
+TEST_F(DispatcherFixture, CacheHitsBypassDisks) {
+  cache::LruCache cache{util::gb(1.0)};
+  Dispatcher d{sim_, catalog_, {0, 1, 0}, disk_ptrs(), &cache};
+  std::vector<std::pair<std::uint64_t, double>> hits;
+  d.set_hit_callback([&](std::uint64_t id, double lat) {
+    hits.emplace_back(id, lat);
+  });
+  sim_.schedule_at(0.0, [&] { d.dispatch(req(0, 0, 0.0)); }); // miss -> disk
+  sim_.schedule_at(10.0, [&] { d.dispatch(req(1, 0, 10.0)); }); // hit
+  sim_.run();
+  EXPECT_EQ(completions_.size(), 1u);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].first, 1u);
+  EXPECT_DOUBLE_EQ(hits[0].second, 0.0);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST_F(DispatcherFixture, CacheHitLatencyIsScheduled) {
+  cache::LruCache cache{util::gb(1.0)};
+  Dispatcher d{sim_, catalog_, {0, 1, 0}, disk_ptrs(), &cache, 0.25};
+  double hit_time = -1.0;
+  d.set_hit_callback([&](std::uint64_t, double) { hit_time = sim_.now(); });
+  sim_.schedule_at(0.0, [&] { d.dispatch(req(0, 2, 0.0)); });
+  sim_.schedule_at(5.0, [&] { d.dispatch(req(1, 2, 5.0)); });
+  sim_.run();
+  EXPECT_DOUBLE_EQ(hit_time, 5.25);
+}
+
+TEST_F(DispatcherFixture, NoCacheMeansEveryRequestHitsDisks) {
+  Dispatcher d{sim_, catalog_, {0, 0, 0}, disk_ptrs()};
+  sim_.schedule_at(0.0, [&] {
+    for (int i = 0; i < 5; ++i) d.dispatch(req(i, 0, 0.0));
+  });
+  sim_.run();
+  EXPECT_EQ(completions_.size(), 5u);
+}
+
+} // namespace
+} // namespace spindown::sys

@@ -1,0 +1,115 @@
+#include "sys/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace spindown::sys {
+namespace {
+
+workload::FileCatalog small_catalog() {
+  std::vector<workload::FileInfo> files(8);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    files[i].id = static_cast<workload::FileId>(i);
+    files[i].size = util::mb(50.0 + 10.0 * static_cast<double>(i));
+    files[i].popularity = 1.0 / 8.0;
+  }
+  return workload::FileCatalog{files};
+}
+
+TEST(CacheSpec, Factories) {
+  EXPECT_EQ(CacheSpec::none().make(), nullptr);
+  auto lru = CacheSpec::lru(util::mb(100.0)).make();
+  ASSERT_NE(lru, nullptr);
+  EXPECT_EQ(lru->name(), "lru");
+  EXPECT_EQ(lru->capacity(), util::mb(100.0));
+  EXPECT_EQ(CacheSpec::fifo().make()->name(), "fifo");
+  EXPECT_EQ(CacheSpec::lfu().make()->name(), "lfu");
+}
+
+TEST(RunExperiment, RequiresCatalog) {
+  ExperimentConfig cfg;
+  EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+}
+
+TEST(RunExperiment, PoissonWorkloadEndToEnd) {
+  const auto cat = small_catalog();
+  ExperimentConfig cfg;
+  cfg.catalog = &cat;
+  cfg.mapping = {0, 0, 0, 0, 1, 1, 1, 1};
+  cfg.num_disks = 4;
+  cfg.workload = WorkloadSpec::poisson(0.5, 300.0);
+  cfg.seed = 3;
+  const auto r = run_experiment(cfg);
+  EXPECT_GT(r.requests, 100u);
+  EXPECT_EQ(r.response.count(), r.requests);
+  EXPECT_DOUBLE_EQ(r.power.horizon_s, 300.0);
+  EXPECT_GT(r.power.energy, 0.0);
+  EXPECT_EQ(r.per_disk.size(), 4u);
+}
+
+TEST(RunExperiment, TraceWorkloadEndToEnd) {
+  const auto cat = small_catalog();
+  const workload::Trace trace{cat, {{1.0, 0}, {2.0, 3}, {50.0, 7}}};
+  ExperimentConfig cfg;
+  cfg.catalog = &cat;
+  cfg.mapping = {0, 0, 0, 0, 0, 0, 0, 0};
+  cfg.num_disks = 1;
+  cfg.workload = WorkloadSpec::replay(trace);
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(r.requests, 3u);
+  EXPECT_DOUBLE_EQ(r.power.horizon_s, trace.duration() + 1.0);
+}
+
+TEST(RunExperiment, TraceWorkloadNeedsTrace) {
+  const auto cat = small_catalog();
+  ExperimentConfig cfg;
+  cfg.catalog = &cat;
+  cfg.mapping.assign(8, 0);
+  cfg.num_disks = 1;
+  cfg.workload.kind = WorkloadSpec::Kind::kTrace;
+  EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+}
+
+TEST(RunExperiment, CacheReducesDiskTraffic) {
+  const auto cat = small_catalog();
+  // Same file requested repeatedly: with a cache only the first goes to disk.
+  std::vector<workload::TraceRecord> records;
+  for (int i = 0; i < 20; ++i) {
+    records.push_back({static_cast<double>(i) * 10.0, 2});
+  }
+  const workload::Trace trace{cat, records};
+
+  ExperimentConfig cfg;
+  cfg.catalog = &cat;
+  cfg.mapping.assign(8, 0);
+  cfg.num_disks = 1;
+  cfg.workload = WorkloadSpec::replay(trace);
+
+  const auto no_cache = run_experiment(cfg);
+  cfg.cache = CacheSpec::lru(util::gb(1.0));
+  const auto cached = run_experiment(cfg);
+
+  EXPECT_EQ(cached.cache.hits, 19u);
+  EXPECT_EQ(cached.cache.misses, 1u);
+  EXPECT_LT(cached.power.energy, no_cache.power.energy);
+  // Cache hits respond instantly: mean response must collapse.
+  EXPECT_LT(cached.response.mean(), no_cache.response.mean() * 0.2);
+}
+
+TEST(RunExperiment, DeterministicGivenSeed) {
+  const auto cat = small_catalog();
+  ExperimentConfig cfg;
+  cfg.catalog = &cat;
+  cfg.mapping = {0, 1, 0, 1, 0, 1, 0, 1};
+  cfg.num_disks = 2;
+  cfg.workload = WorkloadSpec::poisson(1.0, 200.0);
+  cfg.seed = 11;
+  const auto a = run_experiment(cfg);
+  const auto b = run_experiment(cfg);
+  EXPECT_DOUBLE_EQ(a.power.energy, b.power.energy);
+  EXPECT_EQ(a.requests, b.requests);
+}
+
+} // namespace
+} // namespace spindown::sys

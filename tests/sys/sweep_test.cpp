@@ -1,0 +1,73 @@
+#include "sys/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace spindown::sys {
+namespace {
+
+workload::FileCatalog sweep_catalog() {
+  std::vector<workload::FileInfo> files(6);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    files[i].id = static_cast<workload::FileId>(i);
+    files[i].size = util::mb(100.0);
+    files[i].popularity = 1.0 / 6.0;
+  }
+  return workload::FileCatalog{files};
+}
+
+ExperimentConfig config_with_rate(const workload::FileCatalog& cat,
+                                  double rate) {
+  ExperimentConfig cfg;
+  cfg.catalog = &cat;
+  cfg.mapping = {0, 0, 1, 1, 2, 2};
+  cfg.num_disks = 3;
+  cfg.workload = WorkloadSpec::poisson(rate, 150.0);
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(RunSweep, EmptyInput) {
+  EXPECT_TRUE(run_sweep({}).empty());
+}
+
+TEST(RunSweep, ResultsInInputOrder) {
+  const auto cat = sweep_catalog();
+  std::vector<ExperimentConfig> configs;
+  for (double rate : {0.2, 0.5, 1.0, 2.0}) {
+    configs.push_back(config_with_rate(cat, rate));
+  }
+  const auto results = run_sweep(configs);
+  ASSERT_EQ(results.size(), 4u);
+  // More arrivals at higher rates: counts must be increasing.
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GT(results[i].requests, results[i - 1].requests);
+  }
+}
+
+TEST(RunSweep, ParallelMatchesSerial) {
+  const auto cat = sweep_catalog();
+  std::vector<ExperimentConfig> configs;
+  for (double rate : {0.3, 0.7, 1.3}) {
+    configs.push_back(config_with_rate(cat, rate));
+  }
+  const auto serial = run_sweep(configs, 1);
+  const auto parallel = run_sweep(configs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].power.energy, parallel[i].power.energy);
+    EXPECT_EQ(serial[i].requests, parallel[i].requests);
+  }
+}
+
+TEST(RunSweep, PropagatesWorkerExceptions) {
+  const auto cat = sweep_catalog();
+  auto bad = config_with_rate(cat, 1.0);
+  bad.catalog = nullptr; // run_experiment will throw
+  std::vector<ExperimentConfig> configs{config_with_rate(cat, 0.5), bad};
+  EXPECT_THROW(run_sweep(configs), std::invalid_argument);
+}
+
+} // namespace
+} // namespace spindown::sys

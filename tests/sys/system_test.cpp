@@ -1,0 +1,148 @@
+#include "sys/system.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+#include "workload/stream.h"
+
+namespace spindown::sys {
+namespace {
+
+workload::FileCatalog uniform_catalog(std::size_t n, util::Bytes size) {
+  std::vector<workload::FileInfo> files(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    files[i].id = static_cast<workload::FileId>(i);
+    files[i].size = size;
+    files[i].popularity = 1.0 / static_cast<double>(n);
+  }
+  return workload::FileCatalog{files};
+}
+
+TEST(PolicySpec, FactoryNames) {
+  const auto p = disk::DiskParams::st3500630as();
+  EXPECT_EQ(PolicySpec::never().name(p), "never");
+  EXPECT_EQ(PolicySpec::fixed(10.0).name(p), "fixed(10 s)");
+  EXPECT_EQ(PolicySpec::randomized().name(p), "randomized-competitive");
+  EXPECT_NE(PolicySpec::break_even().name(p).find("53.2"), std::string::npos);
+}
+
+TEST(AlwaysOnEnergy, ClosedForm) {
+  const auto p = disk::DiskParams::st3500630as();
+  // 10 disks for 100 s, no service at all: pure idle.
+  EXPECT_DOUBLE_EQ(always_on_energy(p, 10, 100.0, 0.0, 0.0),
+                   10 * 100.0 * 9.3);
+  // Service premium: position at seek power, transfer at active power.
+  EXPECT_DOUBLE_EQ(always_on_energy(p, 1, 100.0, 2.0, 3.0),
+                   100.0 * 9.3 + 2.0 * (12.6 - 9.3) + 3.0 * (13.0 - 9.3));
+}
+
+TEST(StorageSystem, ValidatesMapping) {
+  const auto cat = uniform_catalog(2, util::mb(10.0));
+  EXPECT_THROW((StorageSystem{cat, std::vector<std::uint32_t>{0, 5}, 2,
+                              disk::DiskParams::st3500630as(),
+                              PolicySpec::never()}),
+               std::invalid_argument);
+}
+
+TEST(StorageSystem, TraceRunAccountsEveryRequest) {
+  const auto cat = uniform_catalog(4, util::mb(72.0));
+  const workload::Trace trace{
+      cat, {{0.0, 0}, {1.0, 1}, {2.0, 2}, {3.0, 3}, {100.0, 0}}};
+  StorageSystem sys{cat, {0, 0, 1, 1}, 2, disk::DiskParams::st3500630as(),
+                    PolicySpec::never()};
+  workload::TraceStream stream{trace};
+  const auto r = sys.run(stream, trace.duration() + 1.0);
+  EXPECT_EQ(r.requests, 5u);
+  EXPECT_EQ(r.response.count(), 5u);
+  EXPECT_EQ(r.per_disk.size(), 2u);
+  // The per-disk snapshot is taken at the measurement horizon (trace end
+  // + 1 s); the final request is still in service there.
+  EXPECT_EQ(r.per_disk[0].served + r.per_disk[1].served, 4u);
+}
+
+TEST(StorageSystem, NeverPolicyMatchesAlwaysOnEnergy) {
+  // With spin-down disabled, measured energy must equal the closed-form
+  // always-on normalizer (same integration window) — saving == 0.
+  const auto cat = uniform_catalog(3, util::mb(144.0));
+  const workload::Trace trace{cat, {{5.0, 0}, {17.0, 1}, {31.0, 2}}};
+  StorageSystem sys{cat, {0, 1, 2}, 3, disk::DiskParams::st3500630as(),
+                    PolicySpec::never()};
+  workload::TraceStream stream{trace};
+  const auto r = sys.run(stream, trace.duration() + 1.0);
+  EXPECT_NEAR(r.power.energy, r.power.always_on_energy, 1e-6);
+  EXPECT_NEAR(r.power.saving_vs_always_on, 0.0, 1e-9);
+  EXPECT_EQ(r.power.spin_downs, 0u);
+}
+
+TEST(StorageSystem, AggressivePolicySavesEnergyOnSparseLoad) {
+  const auto cat = uniform_catalog(3, util::mb(72.0));
+  // One request per disk, then a long quiet tail.
+  const workload::Trace trace{cat, {{0.0, 0}, {1.0, 1}, {2.0, 2}}};
+
+  auto run_with = [&](PolicySpec policy) {
+    StorageSystem sys{cat, {0, 1, 2}, 3, disk::DiskParams::st3500630as(),
+                      policy};
+    workload::TraceStream stream{trace};
+    return sys.run(stream, 4000.0);
+  };
+  const auto never = run_with(PolicySpec::never());
+  const auto fixed = run_with(PolicySpec::fixed(30.0));
+  EXPECT_LT(fixed.power.energy, never.power.energy);
+  EXPECT_GT(fixed.power.saving_vs_always_on, 0.5); // mostly standby
+  EXPECT_EQ(fixed.power.spin_downs, 3u);
+  // Power is measured over the same fixed window.
+  EXPECT_DOUBLE_EQ(fixed.power.horizon_s, 4000.0);
+  EXPECT_DOUBLE_EQ(never.power.horizon_s, 4000.0);
+}
+
+TEST(StorageSystem, SpinUpPenaltyVisibleInResponseTimes) {
+  const auto cat = uniform_catalog(1, util::mb(72.0));
+  const auto params = disk::DiskParams::st3500630as();
+  // Second request arrives long after the disk has gone to standby.
+  const workload::Trace trace{cat, {{0.0, 0}, {500.0, 0}}};
+  StorageSystem sys{cat, {0}, 1, params, PolicySpec::fixed(20.0)};
+  workload::TraceStream stream{trace};
+  const auto r = sys.run(stream, trace.duration() + 1.0);
+  EXPECT_EQ(r.power.spin_ups, 1u);
+  EXPECT_NEAR(r.response.max(),
+              params.spinup_s + params.service_time(util::mb(72.0)), 1e-9);
+  EXPECT_NEAR(r.response.min(), params.service_time(util::mb(72.0)), 1e-9);
+}
+
+TEST(StorageSystem, DeterministicAcrossRuns) {
+  const auto cat = uniform_catalog(20, util::mb(100.0));
+  auto run_once = [&] {
+    std::vector<std::uint32_t> mapping(20, 0);
+    for (std::uint32_t i = 0; i < 20; ++i) mapping[i] = i % 4;
+    StorageSystem sys{cat, mapping, 4, disk::DiskParams::st3500630as(),
+                      PolicySpec::break_even(), nullptr, /*seed=*/7};
+    workload::PoissonZipfStream stream{cat, 0.5, 500.0, util::Rng{7}};
+    return sys.run(stream, 500.0);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.power.energy, b.power.energy);
+  EXPECT_EQ(a.response.count(), b.response.count());
+  EXPECT_DOUBLE_EQ(a.response.mean(), b.response.mean());
+}
+
+TEST(StorageSystem, RandomizedPolicySeedsDifferPerDisk) {
+  // All disks idle from t=0 with no requests: randomized policy should give
+  // them different spin-down times (they draw from split RNG streams).
+  const auto cat = uniform_catalog(2, util::mb(10.0));
+  const workload::Trace empty{cat, {}};
+  StorageSystem sys{cat, {0, 1}, 8, disk::DiskParams::st3500630as(),
+                    PolicySpec::randomized()};
+  workload::TraceStream stream{empty};
+  const auto r = sys.run(stream, 200.0);
+  EXPECT_EQ(r.power.spin_downs, 8u);
+  // Idle times differ across disks (probability of a tie ~ 0).
+  std::set<double> idle_times;
+  for (const auto& m : r.per_disk) {
+    idle_times.insert(m.time_in(disk::PowerState::kIdle));
+  }
+  EXPECT_GT(idle_times.size(), 1u);
+}
+
+} // namespace
+} // namespace spindown::sys

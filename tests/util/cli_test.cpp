@@ -1,0 +1,61 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace spindown::util {
+namespace {
+
+Cli make_cli(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return Cli{static_cast<int>(argv.size()), argv.data()};
+}
+
+TEST(Cli, FlagPresence) {
+  const auto cli = make_cli({"prog", "--verbose"});
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.has("quiet"));
+}
+
+TEST(Cli, KeyValueSpaceForm) {
+  const auto cli = make_cli({"prog", "--seed", "42"});
+  EXPECT_EQ(cli.get_int("seed", 0), 42);
+}
+
+TEST(Cli, KeyValueEqualsForm) {
+  const auto cli = make_cli({"prog", "--rate=2.5"});
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 2.5);
+}
+
+TEST(Cli, Fallbacks) {
+  const auto cli = make_cli({"prog"});
+  EXPECT_EQ(cli.get("out", "default.csv"), "default.csv");
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 1.5), 1.5);
+}
+
+TEST(Cli, Positionals) {
+  const auto cli = make_cli({"prog", "file1", "--k", "v", "file2"});
+  ASSERT_EQ(cli.positionals().size(), 2u);
+  EXPECT_EQ(cli.positionals()[0], "file1");
+  EXPECT_EQ(cli.positionals()[1], "file2");
+}
+
+TEST(Cli, FlagFollowedByOption) {
+  const auto cli = make_cli({"prog", "--full", "--seed", "9"});
+  EXPECT_TRUE(cli.has("full"));
+  EXPECT_EQ(cli.get_int("seed", 0), 9);
+}
+
+TEST(Cli, ProgramName) {
+  const auto cli = make_cli({"myprog"});
+  EXPECT_EQ(cli.program(), "myprog");
+}
+
+} // namespace
+} // namespace spindown::util

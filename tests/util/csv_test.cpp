@@ -1,0 +1,99 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace spindown::util {
+namespace {
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream out;
+  CsvWriter w{out};
+  w.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter w{out};
+  w.write_row({"plain", "has,comma", "has\"quote", "has\nnewline"});
+  EXPECT_EQ(out.str(), "plain,\"has,comma\",\"has\"\"quote\",\"has\nnewline\"\n");
+}
+
+TEST(CsvWriter, StreamableValues) {
+  std::ostringstream out;
+  CsvWriter w{out};
+  w.row("x", 42, 2.5);
+  EXPECT_EQ(out.str().substr(0, 5), "x,42,");
+}
+
+TEST(SplitCsvLine, Simple) {
+  const auto fields = split_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitCsvLine, QuotedFields) {
+  const auto fields = split_csv_line("\"has,comma\",\"has\"\"quote\"\"\",plain");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "has,comma");
+  EXPECT_EQ(fields[1], "has\"quote\"");
+  EXPECT_EQ(fields[2], "plain");
+}
+
+TEST(SplitCsvLine, EmptyFields) {
+  const auto fields = split_csv_line("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitCsvLine, ToleratesCarriageReturn) {
+  const auto fields = split_csv_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+class CsvRoundTrip : public ::testing::Test {
+protected:
+  std::filesystem::path path_ =
+      std::filesystem::temp_directory_path() / "spindown_csv_test.csv";
+  void TearDown() override { std::filesystem::remove(path_); }
+};
+
+TEST_F(CsvRoundTrip, WriteThenRead) {
+  {
+    CsvWriter w{path_};
+    w.write_row({"time", "file"});
+    w.write_row({"1.5", "42"});
+    w.write_row({"2.5", "message, with comma"});
+  }
+  CsvReader r{path_};
+  auto header = r.next();
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ((*header)[0], "time");
+  auto row1 = r.next();
+  ASSERT_TRUE(row1.has_value());
+  EXPECT_EQ((*row1)[1], "42");
+  auto row2 = r.next();
+  ASSERT_TRUE(row2.has_value());
+  EXPECT_EQ((*row2)[1], "message, with comma");
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(CsvReaderErrors, MissingFileThrows) {
+  EXPECT_THROW(CsvReader{std::filesystem::path{"/nonexistent/zzz.csv"}},
+               std::runtime_error);
+}
+
+TEST(CsvWriterErrors, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter{std::filesystem::path{"/nonexistent/dir/x.csv"}},
+               std::runtime_error);
+}
+
+} // namespace
+} // namespace spindown::util

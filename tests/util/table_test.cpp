@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spindown::util {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t{{"name", "value"}};
+  t.row("x", 1);
+  t.row("longer", 22);
+  std::ostringstream out;
+  t.print(out);
+  const auto text = out.str();
+  // Header, rule, two rows.
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  // Every line has the same column start for "value"/numbers: the header
+  // and first row align at the same offset.
+  std::istringstream lines{text};
+  std::string header, rule, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header.find("value"), row1.find("1"));
+  EXPECT_EQ(header.find("value"), row2.find("22"));
+}
+
+TEST(TablePrinter, PadsMissingCellsAndDropsExtras) {
+  TablePrinter t{{"a", "b"}};
+  t.add_row({"only-one"});
+  t.add_row({"x", "y", "dropped"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_EQ(out.str().find("dropped"), std::string::npos);
+  EXPECT_NE(out.str().find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinter, EmptyTableStillPrintsHeader) {
+  TablePrinter t{{"col"}};
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("col"), std::string::npos);
+}
+
+TEST(TablePrinter, MixedTypesViaRow) {
+  TablePrinter t{{"s", "i", "d"}};
+  t.row(std::string{"str"}, 42, 2.5);
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("str"), std::string::npos);
+  EXPECT_NE(out.str().find("42"), std::string::npos);
+  EXPECT_NE(out.str().find("2.5"), std::string::npos);
+}
+
+} // namespace
+} // namespace spindown::util

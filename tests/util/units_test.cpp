@@ -1,0 +1,43 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace spindown::util {
+namespace {
+
+TEST(Units, Constructors) {
+  EXPECT_EQ(mb(1.0), 1'000'000ULL);
+  EXPECT_EQ(gb(0.5), 500'000'000ULL);
+  EXPECT_EQ(tb(2.0), 2'000'000'000'000ULL);
+  // The paper's numbers.
+  EXPECT_EQ(mb(188.0), 188'000'000ULL);
+  EXPECT_EQ(gb(20.0), 20'000'000'000ULL);
+}
+
+TEST(FormatBytes, PicksUnit) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(mb(544.0)), "544 MB");
+  EXPECT_EQ(format_bytes(gb(20.0)), "20 GB");
+  EXPECT_EQ(format_bytes(tb(12.86)), "12.86 TB");
+}
+
+TEST(FormatSeconds, PicksUnit) {
+  EXPECT_EQ(format_seconds(0.0085), "8.5 ms");
+  EXPECT_EQ(format_seconds(53.3), "53.3 s");
+  EXPECT_EQ(format_seconds(90.0), "1.5 min");
+  EXPECT_EQ(format_seconds(7200.0), "2 h");
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(0.850, 3), "0.85");
+  EXPECT_EQ(format_double(12.0, 3), "12");
+  EXPECT_EQ(format_double(0.12345, 2), "0.12");
+}
+
+TEST(Units, TimeConstants) {
+  EXPECT_DOUBLE_EQ(kHour, 3600.0);
+  EXPECT_DOUBLE_EQ(kDay, 86400.0);
+}
+
+} // namespace
+} // namespace spindown::util

@@ -1,0 +1,98 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/units.h"
+
+namespace spindown::workload {
+namespace {
+
+FileCatalog small_catalog() {
+  std::vector<FileInfo> files{
+      {0, util::mb(10.0), 0.5},
+      {1, util::mb(20.0), 0.3},
+      {2, util::mb(30.0), 0.2},
+  };
+  return FileCatalog{files};
+}
+
+TEST(Trace, SortsRecordsByTime) {
+  const Trace t{small_catalog(),
+                {{5.0, 1}, {1.0, 0}, {3.0, 2}}};
+  EXPECT_DOUBLE_EQ(t.records()[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(t.records()[1].time, 3.0);
+  EXPECT_DOUBLE_EQ(t.records()[2].time, 5.0);
+  EXPECT_DOUBLE_EQ(t.duration(), 5.0);
+}
+
+TEST(Trace, RejectsUnknownFiles) {
+  EXPECT_THROW((Trace{small_catalog(), {{1.0, 9}}}), std::invalid_argument);
+}
+
+TEST(Trace, EmptyTraceBasics) {
+  const Trace t{small_catalog(), {}};
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.duration(), 0.0);
+}
+
+class TraceIo : public ::testing::Test {
+protected:
+  std::filesystem::path stem_ =
+      std::filesystem::temp_directory_path() / "spindown_trace_test";
+  void TearDown() override {
+    std::filesystem::remove(stem_.string() + ".catalog.csv");
+    std::filesystem::remove(stem_.string() + ".trace.csv");
+  }
+};
+
+TEST_F(TraceIo, SaveLoadRoundTrip) {
+  const Trace original{small_catalog(), {{1.0, 0}, {2.5, 2}, {7.25, 1}}};
+  original.save(stem_);
+  const Trace loaded = Trace::load(stem_);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.records()[i].time, original.records()[i].time);
+    EXPECT_EQ(loaded.records()[i].file, original.records()[i].file);
+  }
+  ASSERT_EQ(loaded.catalog().size(), original.catalog().size());
+  for (std::size_t i = 0; i < loaded.catalog().size(); ++i) {
+    EXPECT_EQ(loaded.catalog()[i].size, original.catalog()[i].size);
+    EXPECT_NEAR(loaded.catalog()[i].popularity,
+                original.catalog()[i].popularity, 1e-9);
+  }
+}
+
+TEST_F(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW(Trace::load(stem_), std::runtime_error);
+}
+
+TEST(TraceAnalyze, BasicStatistics) {
+  const Trace t{small_catalog(), {{0.0, 0}, {50.0, 0}, {100.0, 1}}};
+  const auto stats = analyze(t);
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.distinct_files, 2u);
+  EXPECT_DOUBLE_EQ(stats.duration_s, 100.0);
+  EXPECT_DOUBLE_EQ(stats.arrival_rate, 0.03);
+  EXPECT_DOUBLE_EQ(stats.mean_accessed_bytes,
+                   (10e6 + 10e6 + 20e6) / 3.0);
+  EXPECT_EQ(stats.total_catalog_bytes, util::mb(60.0));
+}
+
+TEST(TraceAnalyze, MinDisks) {
+  TraceStats stats;
+  stats.total_catalog_bytes = util::tb(47.5);
+  EXPECT_EQ(stats.min_disks(util::gb(500.0)), 95u); // the paper's value
+  EXPECT_EQ(stats.min_disks(0), 0u);
+}
+
+TEST(TraceAnalyze, EmptyTrace) {
+  const auto stats = analyze(Trace{small_catalog(), {}});
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.distinct_files, 0u);
+}
+
+} // namespace
+} // namespace spindown::workload
