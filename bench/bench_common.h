@@ -1,6 +1,7 @@
 // bench_common.h — shared plumbing for the figure benches.
 //
 // Every bench binary accepts:
+//   --help         print usage and exit
 //   --csv <path>   also write the series as CSV
 //   --seed <n>     override the experiment seed
 //   --full         run the paper's dense grid (default grids are coarsened
@@ -8,6 +9,7 @@
 //   --threads <n>  parallel sweep width (default: hardware)
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -28,6 +30,11 @@ struct BenchOptions {
 
   static BenchOptions parse(int argc, char** argv) {
     const util::Cli cli{argc, argv};
+    if (cli.has("help")) {
+      std::cout << "usage: " << cli.program()
+                << " [--csv <path>] [--seed <n>] [--full] [--threads <n>]\n";
+      std::exit(0);
+    }
     BenchOptions o;
     if (cli.has("csv")) o.csv_path = cli.get("csv", "bench.csv");
     o.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));

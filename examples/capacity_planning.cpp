@@ -28,6 +28,12 @@
 int main(int argc, char** argv) {
   using namespace spindown;
   const util::Cli cli{argc, argv};
+  if (cli.has("help")) {
+    std::cout << "usage: " << cli.program()
+              << " [--files 40000] [--rate 4.0] [--target-resp 12]"
+                 " [--kwh-price 0.12] [--seed 1]\n";
+    return 0;
+  }
   const auto n_files = static_cast<std::size_t>(cli.get_int("files", 40'000));
   const double rate = cli.get_double("rate", 4.0);
   const double target_resp = cli.get_double("target-resp", 12.0);

@@ -90,6 +90,12 @@ util::Joules run_policy(const disk::DiskParams& params,
 int main(int argc, char** argv) {
   using namespace spindown;
   const util::Cli cli{argc, argv};
+  if (cli.has("help")) {
+    std::cout << "usage: " << cli.program()
+              << " [--gaps 2000] [--dist exp|uniform|bimodal]"
+                 " [--mean-gap 60] [--seed 1]\n";
+    return 0;
+  }
   const auto n_gaps = static_cast<std::size_t>(cli.get_int("gaps", 2000));
   const double mean_gap = cli.get_double("mean-gap", 60.0);
   const std::string dist = cli.get("dist", "exp");

@@ -18,6 +18,11 @@
 int main(int argc, char** argv) {
   using namespace spindown;
   const util::Cli cli{argc, argv};
+  if (cli.has("help")) {
+    std::cout << "usage: " << cli.program()
+              << " [--files 2000] [--rate 2.0] [--seed 1]\n";
+    return 0;
+  }
   const auto n_files = static_cast<std::size_t>(cli.get_int("files", 2000));
   const double rate = cli.get_double("rate", 2.0);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));

@@ -26,6 +26,12 @@
 int main(int argc, char** argv) {
   using namespace spindown;
   const util::Cli cli{argc, argv};
+  if (cli.has("help")) {
+    std::cout << "usage: " << cli.program()
+              << " [--trace /path/stem] [--threshold-h 0.5] [--lru-gb 16]"
+                 " [--seed 1]\n";
+    return 0;
+  }
   const double threshold_h = cli.get_double("threshold-h", 0.5);
   const double lru_gb = cli.get_double("lru-gb", 0.0);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));

@@ -110,6 +110,11 @@ Outcome run(bool spinning_aware, std::uint32_t n_disks, std::size_t n_writes,
 int main(int argc, char** argv) {
   using namespace spindown;
   const util::Cli cli{argc, argv};
+  if (cli.has("help")) {
+    std::cout << "usage: " << cli.program()
+              << " [--writes 400] [--rate 0.02] [--disks 8] [--seed 1]\n";
+    return 0;
+  }
   const auto n_writes = static_cast<std::size_t>(cli.get_int("writes", 400));
   const double rate = cli.get_double("rate", 0.02);
   const auto n_disks = static_cast<std::uint32_t>(cli.get_int("disks", 8));
