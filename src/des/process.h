@@ -13,6 +13,8 @@
 // suspend never suspends, so the frame is destroyed automatically when the
 // body finishes; all awaitables schedule resumption through the Simulation
 // calendar, so resumption order is exactly event order (deterministic).
+// Resumption callbacks capture only the 8-byte coroutine handle, which the
+// calendar stores inline — suspending and resuming never heap-allocates.
 #pragma once
 
 #include <coroutine>

@@ -8,7 +8,7 @@ Resource::Resource(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) throw std::invalid_argument{"Resource capacity must be > 0"};
 }
 
-void Resource::enqueue(Simulation& sim, std::function<void()> fn) {
+void Resource::enqueue(Simulation& sim, Callback fn) {
   if (in_use_ < capacity_ && waiters_.empty()) {
     ++in_use_;
     sim.schedule_in(0.0, std::move(fn));

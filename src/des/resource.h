@@ -13,7 +13,6 @@
 #include <coroutine>
 #include <cstddef>
 #include <deque>
-#include <functional>
 
 #include "des/simulation.h"
 
@@ -28,8 +27,10 @@ public:
   std::size_t queue_length() const { return waiters_.size(); }
 
   /// Callback interface: run `fn` once a slot is free (immediately if one is
-  /// free now).  The slot is held until release().
-  void enqueue(Simulation& sim, std::function<void()> fn);
+  /// free now).  The slot is held until release().  Grants use the same
+  /// allocation-free Callback type as the calendar, so contended waits do
+  /// not heap-allocate either.
+  void enqueue(Simulation& sim, Callback fn);
 
   /// Release one slot; the longest-waiting requester (if any) receives it.
   void release(Simulation& sim);
@@ -55,7 +56,7 @@ public:
 private:
   std::size_t capacity_;
   std::size_t in_use_ = 0;
-  std::deque<std::function<void()>> waiters_;
+  std::deque<Callback> waiters_;
 };
 
 } // namespace spindown::des

@@ -5,11 +5,47 @@
 
 namespace spindown::des {
 
+std::uint32_t Simulation::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = nodes_[slot].next_free;
+    return slot;
+  }
+  if (nodes_.size() > kSlotMask) {
+    throw std::length_error{
+        "Simulation: more than 2^24 concurrently pending events"};
+  }
+  nodes_.emplace_back();
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void Simulation::recycle(std::uint32_t slot) {
+  Node& n = nodes_[slot];
+  n.fn.reset();
+  // Bump the generation so handles to the old occupant stop matching; skip
+  // 0, which is reserved for inert handles.
+  if (++n.generation == 0) n.generation = 1;
+  n.state = NodeState::kFree;
+  n.next_free = free_head_;
+  free_head_ = slot;
+}
+
 EventHandle Simulation::schedule_at(SimTime t, Callback fn) {
   if (t < now_) throw std::invalid_argument{"schedule_at: time in the past"};
-  const std::uint64_t id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id, std::move(fn)});
-  return EventHandle{id};
+  if (next_seq_ > kMaxSeq) {
+    throw std::length_error{
+        "Simulation: event sequence space exhausted (2^40 events)"};
+  }
+  const std::uint32_t slot = acquire_slot();
+  Node& n = nodes_[slot];
+  n.fn = std::move(fn);
+  n.state = NodeState::kScheduled;
+  const std::uint32_t generation = n.generation;
+  // The push's move observer records the key's settling position in
+  // n.heap_index (it writes through the slab, never resizes it).
+  queue_.push(Key{t, (next_seq_++ << 24) | slot});
+  ++live_;
+  return EventHandle{slot, generation};
 }
 
 EventHandle Simulation::schedule_in(SimTime delay, Callback fn) {
@@ -18,40 +54,42 @@ EventHandle Simulation::schedule_in(SimTime delay, Callback fn) {
 }
 
 bool Simulation::cancel(EventHandle h) {
-  if (!h.valid() || h.id_ >= next_id_) return false;
-  // Lazy deletion: remember the id; the entry is dropped when it surfaces.
-  // Ids are unique per event, so a stale id (cancel after execution) sits in
-  // the set harmlessly; callers clear their handles to avoid creating them.
-  return cancelled_.insert(h.id_).second;
-}
-
-void Simulation::prune_cancelled() {
-  while (!queue_.empty()) {
-    const auto it = cancelled_.find(queue_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    queue_.pop();
+  if (!h.valid() || h.slot_ >= nodes_.size()) return false;
+  Node& n = nodes_[h.slot_];
+  if (n.state != NodeState::kScheduled || n.generation != h.generation_) {
+    return false;
   }
+  // Remove the key in place (the node knows where it sits) and recycle the
+  // slot immediately; the calendar never carries dead entries.
+  const Key removed = queue_.remove_at(n.heap_index);
+  assert(removed.slot() == h.slot_);
+  (void)removed;
+  recycle(h.slot_);
+  --live_;
+  return true;
 }
 
 bool Simulation::step() {
-  prune_cancelled();
   if (queue_.empty()) return false;
-  // priority_queue has no non-const pop-and-move; the const_cast is the
-  // standard idiom and safe because the entry is popped immediately after.
-  Entry e = std::move(const_cast<Entry&>(queue_.top()));
-  queue_.pop();
-  assert(e.time >= now_);
-  now_ = e.time;
+  const Key key = queue_.pop();
+  const std::uint32_t slot = key.slot();
+  Node& n = nodes_[slot];
+  assert(n.state == NodeState::kScheduled);
+  assert(key.time >= now_);
+  now_ = key.time;
+  // Move the callback out and recycle the slot *before* firing, so the
+  // callback may schedule new events (possibly into this very slot, or
+  // growing the slab) freely.
+  Callback fn = std::move(n.fn);
+  recycle(slot);
+  --live_;
   ++executed_;
-  e.fn();
+  fn();
   return true;
 }
 
 void Simulation::run_until(SimTime t) {
-  for (;;) {
-    prune_cancelled();
-    if (queue_.empty() || queue_.top().time > t) break;
+  while (!queue_.empty() && queue_.top().time <= t) {
     step();
   }
   if (t > now_) now_ = t;
@@ -60,6 +98,11 @@ void Simulation::run_until(SimTime t) {
 void Simulation::run() {
   while (step()) {
   }
+}
+
+void Simulation::reserve(std::size_t events) {
+  nodes_.reserve(events);
+  queue_.reserve(events);
 }
 
 } // namespace spindown::des

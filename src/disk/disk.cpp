@@ -99,17 +99,15 @@ void Disk::arm_idle_timer() {
     return;
   }
   idle_timer_ = sim_.schedule_in(*timeout, [this] {
-    idle_timer_armed_ = false;
+    idle_timer_ = des::EventHandle{};
     begin_spin_down();
   });
-  idle_timer_armed_ = true;
 }
 
 void Disk::disarm_idle_timer() {
-  if (idle_timer_armed_) {
-    sim_.cancel(idle_timer_);
-    idle_timer_armed_ = false;
-  }
+  // Generation-counted handles make this safe unconditionally: cancelling an
+  // inert or already-fired handle is a no-op returning false.
+  sim_.cancel(idle_timer_);
   idle_timer_ = des::EventHandle{};
 }
 

@@ -121,7 +121,6 @@ private:
   std::deque<Job> queue_;
   Job current_{};
   des::EventHandle idle_timer_;
-  bool idle_timer_armed_ = false;
   double idle_since_ = 0.0;
   double service_start_ = 0.0;
 

@@ -31,6 +31,7 @@ void Dispatcher::dispatch(const workload::Request& request) {
       const auto id = request.id;
       const auto latency = cache_hit_latency_;
       if (latency > 0.0) {
+        // 24-byte capture: delivered through the calendar's inline buffer.
         sim_.schedule_in(latency, [this, id, latency] { on_hit_(id, latency); });
       } else {
         on_hit_(id, 0.0);

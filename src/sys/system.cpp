@@ -89,14 +89,23 @@ RunResult StorageSystem::run(workload::RequestStream& stream,
 
   // Pull-scheduled arrivals: each arrival event dispatches and schedules the
   // next one, so only one pending arrival sits in the calendar at a time.
-  std::function<void()> pump = [&] {
-    auto req = stream.next();
-    if (!req.has_value()) return;
-    sim.schedule_at(req->arrival, [&, r = *req] {
-      dispatcher.dispatch(r);
-      pump();
-    });
+  // The scheduled capture is (pump pointer + Request by value) — well inside
+  // the calendar's inline-callback buffer, so the arrival path of a replay
+  // performs no heap allocations.
+  struct ArrivalPump {
+    des::Simulation& sim;
+    Dispatcher& dispatcher;
+    workload::RequestStream& stream;
+    void operator()() {
+      auto req = stream.next();
+      if (!req.has_value()) return;
+      sim.schedule_at(req->arrival, [this, r = *req] {
+        dispatcher.dispatch(r);
+        (*this)();
+      });
+    }
   };
+  ArrivalPump pump{sim, dispatcher, stream};
   pump();
 
   // Snapshot every disk ledger exactly at the measurement horizon so energy

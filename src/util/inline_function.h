@@ -1,0 +1,157 @@
+// inline_function.h — move-only callable with a small-buffer optimisation.
+//
+// The simulation kernel fires millions of callbacks per run; wrapping each
+// one in std::function costs a heap allocation whenever the capture exceeds
+// the implementation's tiny inline buffer (16 bytes on libstdc++ — a `this`
+// pointer plus anything else already spills).  InlineFunction keeps a
+// caller-chosen inline buffer (64 bytes by default, enough for every capture
+// in the simulator's hot path) and only falls back to the heap for oversized
+// or potentially-throwing-move captures.
+//
+// Differences from std::function, on purpose:
+//   * move-only (callbacks are scheduled once and fired once; copying them
+//     is never needed and forbidding it keeps captures cheap),
+//   * no target_type()/target() introspection,
+//   * moves are always noexcept (a requirement for storing these in
+//     vectors/slabs that relocate), which is why a type with a throwing move
+//     constructor is heap-allocated even if it would fit the buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace spindown::util {
+
+template <typename Signature, std::size_t Capacity = 64>
+class InlineFunction; // primary template left undefined
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}
+
+  /// Wrap any callable invocable as R(Args...).  Fits-and-nothrow-movable
+  /// targets live in the inline buffer; everything else is heap-allocated.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {
+    emplace<D>(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  /// Invoke the target.  Precondition: non-empty.
+  R operator()(Args... args) {
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+  /// Destroy the target (releasing its captures) and become empty.
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(Op::kDestroy, buf_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  /// True if a target of type D would be stored inline (no heap).
+  template <typename D>
+  static constexpr bool stores_inline() {
+    return fits_inline<std::decay_t<D>>;
+  }
+
+private:
+  enum class Op { kDestroy, kMove };
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  /// Trivial inline targets (every `this`-capturing lambda on the hot path)
+  /// need no manage function at all: manage_ == nullptr encodes "move is a
+  /// buffer copy, destroy is a no-op", saving an indirect call per move and
+  /// per destruction.
+  template <typename D>
+  static constexpr bool trivial_inline =
+      fits_inline<D> && std::is_trivially_copyable_v<D> &&
+      std::is_trivially_destructible_v<D>;
+
+  template <typename D, typename F>
+  void emplace(F&& f) {
+    if constexpr (trivial_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = [](unsigned char* s, Args... a) -> R {
+        return (*std::launder(reinterpret_cast<D*>(s)))(
+            std::forward<Args>(a)...);
+      };
+      manage_ = nullptr;
+    } else if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = [](unsigned char* s, Args... a) -> R {
+        return (*std::launder(reinterpret_cast<D*>(s)))(
+            std::forward<Args>(a)...);
+      };
+      manage_ = [](Op op, unsigned char* s, unsigned char* dst) noexcept {
+        D* obj = std::launder(reinterpret_cast<D*>(s));
+        if (op == Op::kMove) ::new (static_cast<void*>(dst)) D(std::move(*obj));
+        obj->~D();
+      };
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      invoke_ = [](unsigned char* s, Args... a) -> R {
+        return (**std::launder(reinterpret_cast<D**>(s)))(
+            std::forward<Args>(a)...);
+      };
+      manage_ = [](Op op, unsigned char* s, unsigned char* dst) noexcept {
+        D** p = std::launder(reinterpret_cast<D**>(s));
+        if (op == Op::kMove) {
+          // Steal the pointer; the source's slot is trivially dead after.
+          ::new (static_cast<void*>(dst)) D*(*p);
+        } else {
+          delete *p;
+        }
+      };
+    }
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    if (other.invoke_ == nullptr) return;
+    if (other.manage_ != nullptr) {
+      other.manage_(Op::kMove, other.buf_, buf_);
+      manage_ = other.manage_;
+      other.manage_ = nullptr;
+    } else {
+      // Trivial inline target: blind copy of the whole buffer beats an
+      // indirect call (the copy is four vector stores).
+      std::memcpy(buf_, other.buf_, Capacity);
+      manage_ = nullptr;
+    }
+    invoke_ = other.invoke_;
+    other.invoke_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  R (*invoke_)(unsigned char*, Args...) = nullptr;
+  void (*manage_)(Op, unsigned char*, unsigned char*) noexcept = nullptr;
+};
+
+} // namespace spindown::util

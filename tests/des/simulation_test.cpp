@@ -126,6 +126,137 @@ TEST(Simulation, ExecutedCountsOnlyRealEvents) {
   EXPECT_EQ(sim.executed(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Pooled-calendar semantics: generation-counted handles, exact pending(),
+// same-time FIFO across cancellations.
+
+TEST(Simulation, CancelAfterExecuteReturnsFalse) {
+  Simulation sim;
+  const auto h = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+// Regression: the seed kernel computed pending() as queue size minus the
+// cancelled-id set size; cancelling an already-executed event grew the set
+// while the queue was empty, wrapping pending() to ~2^64.
+TEST(Simulation, PendingNeverUnderflowsOnStaleCancel) {
+  Simulation sim;
+  const auto h1 = sim.schedule_at(1.0, [] {});
+  const auto h2 = sim.schedule_at(2.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(h1));
+  EXPECT_FALSE(sim.cancel(h2));
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_LT(sim.pending(), 1u << 30); // would fail spectacularly on wrap
+  sim.schedule_at(3.0, [] {});
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulation, PendingTracksScheduleCancelExecuteExactly) {
+  Simulation sim;
+  const auto a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  const auto c = sim.schedule_at(3.0, [] {});
+  EXPECT_EQ(sim.pending(), 3u);
+  EXPECT_TRUE(sim.cancel(a));
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_TRUE(sim.step()); // runs the t=2 event
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_TRUE(sim.cancel(c));
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, StaleHandleAfterSlotReuseCannotCancelNewEvent) {
+  Simulation sim;
+  // Execute A so its slot is recycled, then schedule B (which reuses it).
+  const auto a = sim.schedule_at(1.0, [] {});
+  sim.run();
+  bool b_ran = false;
+  const auto b = sim.schedule_at(2.0, [&] { b_ran = true; });
+  EXPECT_FALSE(sim.cancel(a)); // stale generation: must not touch B
+  sim.run();
+  EXPECT_TRUE(b_ran);
+  EXPECT_TRUE(sim.slab_size() >= 1u);
+  (void)b;
+}
+
+TEST(Simulation, StaleHandleAfterCancelledSlotResurfacesCannotCancel) {
+  Simulation sim;
+  const auto a = sim.schedule_at(5.0, [] {});
+  // Eager cancellation recycles A's slot immediately; the t=7 schedule
+  // below may reuse it.
+  EXPECT_TRUE(sim.cancel(a));
+  sim.schedule_at(6.0, [] {});
+  sim.run();
+  bool c_ran = false;
+  sim.schedule_at(7.0, [&] { c_ran = true; });
+  EXPECT_FALSE(sim.cancel(a));
+  sim.run();
+  EXPECT_TRUE(c_ran);
+}
+
+TEST(Simulation, SameTimeFifoSurvivesInterleavedCancellations) {
+  Simulation sim;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 20; ++i) {
+    handles.push_back(sim.schedule_at(5.0, [&order, i] { order.push_back(i); }));
+  }
+  // Cancel every third event; survivors must still fire in insertion order.
+  for (int i = 0; i < 20; i += 3) EXPECT_TRUE(sim.cancel(handles[i]));
+  sim.run();
+  std::vector<int> expected;
+  for (int i = 0; i < 20; ++i) {
+    if (i % 3 != 0) expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Simulation, SlotsAreRecycledNotLeaked) {
+  Simulation sim;
+  // Steady-state schedule->fire keeps reusing the same slot.
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule_in(1.0, [] {});
+    sim.run();
+  }
+  EXPECT_LE(sim.slab_size(), 4u);
+  EXPECT_EQ(sim.executed(), 1000u);
+}
+
+TEST(Simulation, ChurnStressScheduleCancelCycles) {
+  // 10^5 schedule/cancel cycles mimicking the fixed-threshold spin-down
+  // policy (arm a timer, disarm it when the next request lands), run under
+  // the ASan preset in CI to shake out any slab/generation bug.
+  Simulation sim;
+  std::uint64_t cancelled = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t i = 0;
+  EventHandle timer;
+  while (i < 100000) {
+    timer = sim.schedule_in(10.0, [&fired] { ++fired; });
+    if (i % 5 != 4) {
+      // "Request arrives" before the timer: disarm it.
+      ASSERT_TRUE(sim.cancel(timer));
+      ++cancelled;
+      sim.run_until(sim.now() + 1.0);
+    } else {
+      // Timer fires.
+      sim.run_until(sim.now() + 20.0);
+    }
+    ++i;
+  }
+  sim.run();
+  EXPECT_EQ(cancelled, 80000u);
+  EXPECT_EQ(fired, 20000u);
+  EXPECT_EQ(sim.pending(), 0u);
+  // Eager cancellation recycles the slot immediately, so the slab never
+  // grows past the handful of simultaneously live events.
+  EXPECT_LE(sim.slab_size(), 4u);
+}
+
 TEST(Simulation, ManyEventsStressOrdering) {
   Simulation sim;
   double last = -1.0;

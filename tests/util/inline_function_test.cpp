@@ -1,0 +1,125 @@
+#include "util/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace spindown::util {
+namespace {
+
+using Fn = InlineFunction<void()>;
+
+TEST(InlineFunction, DefaultIsEmpty) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  Fn g{nullptr};
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InlineFunction, InvokesSmallCapture) {
+  int hits = 0;
+  Fn f{[&hits] { ++hits; }};
+  EXPECT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, SmallCapturesAreStoredInline) {
+  struct Small {
+    void* a;
+    void* b;
+    void operator()() const {}
+  };
+  struct Big {
+    std::array<char, 200> blob;
+    void operator()() const {}
+  };
+  EXPECT_TRUE(Fn::stores_inline<Small>());
+  EXPECT_FALSE(Fn::stores_inline<Big>());
+}
+
+TEST(InlineFunction, OversizedCaptureFallsBackToHeapAndStillWorks) {
+  std::array<int, 64> payload{};
+  payload[0] = 7;
+  payload[63] = 42;
+  int sum = 0;
+  Fn f{[payload, &sum] { sum = payload[0] + payload[63]; }};
+  f();
+  EXPECT_EQ(sum, 49);
+}
+
+TEST(InlineFunction, MoveTransfersTarget) {
+  int hits = 0;
+  Fn a{[&hits] { ++hits; }};
+  Fn b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a)); // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, MoveAssignReplacesTarget) {
+  int first = 0;
+  int second = 0;
+  Fn a{[&first] { ++first; }};
+  Fn b{[&second] { ++second; }};
+  a = std::move(b);
+  a();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(InlineFunction, DestructionReleasesCaptures) {
+  auto token = std::make_shared<int>(5);
+  EXPECT_EQ(token.use_count(), 1);
+  {
+    Fn f{[token] { (void)*token; }};
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineFunction, ResetReleasesCapturesAndEmpties) {
+  auto token = std::make_shared<int>(5);
+  Fn f{[token] { (void)*token; }};
+  token.reset();
+  f.reset();
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, HeapTargetMoveStealsPointer) {
+  auto token = std::make_shared<int>(1);
+  std::array<char, 128> pad{};
+  Fn a{[token, pad] { (void)pad; }};
+  const long count_before = token.use_count();
+  Fn b{std::move(a)};
+  // Stealing the heap pointer must not copy (or destroy) the capture.
+  EXPECT_EQ(token.use_count(), count_before);
+  b();
+}
+
+TEST(InlineFunction, ArgumentsAndReturnValues) {
+  InlineFunction<int(int, int)> add{[](int a, int b) { return a + b; }};
+  EXPECT_EQ(add(2, 3), 5);
+
+  std::string log;
+  InlineFunction<void(const std::string&)> append{
+      [&log](const std::string& s) { log += s; }};
+  append("ab");
+  append("cd");
+  EXPECT_EQ(log, "abcd");
+}
+
+TEST(InlineFunction, MutableCallableKeepsState) {
+  InlineFunction<int()> counter{[n = 0]() mutable { return ++n; }};
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+  EXPECT_EQ(counter(), 3);
+}
+
+} // namespace
+} // namespace spindown::util
