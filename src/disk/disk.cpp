@@ -1,5 +1,6 @@
 #include "disk/disk.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace spindown::disk {
@@ -13,10 +14,15 @@ util::Joules DiskMetrics::energy(const DiskParams& p) const {
 }
 
 Disk::Disk(des::Simulation& sim, std::uint32_t id, DiskParams params,
-           std::unique_ptr<SpinDownPolicy> policy, util::Rng rng)
+           std::unique_ptr<SpinDownPolicy> policy, util::Rng rng,
+           std::unique_ptr<IoScheduler> scheduler)
     : sim_(sim), id_(id), params_(std::move(params)), policy_(std::move(policy)),
-      rng_(rng), ledger_(PowerState::kIdle, sim.now()), idle_since_(sim.now()) {
+      rng_(rng),
+      scheduler_(scheduler ? std::move(scheduler) : make_fcfs_scheduler()),
+      ledger_(PowerState::kIdle, sim.now()), idle_since_(sim.now()) {
   assert(policy_ != nullptr);
+  capacity_blocks_ = std::max<double>(
+      1.0, static_cast<double>(util::blocks_of(params_.capacity)));
   arm_idle_timer();
 }
 
@@ -26,8 +32,16 @@ void Disk::enter(PowerState next) {
   state_ = next;
 }
 
-void Disk::submit(std::uint64_t request_id, util::Bytes bytes) {
-  queue_.push_back(Job{request_id, bytes, sim_.now()});
+void Disk::submit(std::uint64_t request_id, util::Bytes bytes,
+                  std::uint64_t lba, std::uint64_t blocks) {
+  IoJob job;
+  job.request_id = request_id;
+  job.bytes = bytes;
+  job.arrival = sim_.now();
+  job.lba = lba;
+  job.blocks = blocks != 0 ? blocks : util::blocks_of(bytes);
+  job.seq = submit_seq_++;
+  scheduler_->push(job);
   switch (state_) {
     case PowerState::kIdle:
       // The idle gap ends now; record it for offline-optimal analysis.
@@ -47,37 +61,61 @@ void Disk::submit(std::uint64_t request_id, util::Bytes bytes) {
   }
 }
 
+double Disk::positioning_time(std::uint64_t target_lba) const {
+  if (!scheduler_->geometry_aware()) return params_.position_time();
+  const double travel =
+      static_cast<double>(target_lba > head_lba_ ? target_lba - head_lba_
+                                                 : head_lba_ - target_lba);
+  const double distance = std::min(1.0, travel / capacity_blocks_);
+  return params_.seek_time(distance) + params_.avg_rotation_s;
+}
+
 void Disk::start_service() {
-  assert(!queue_.empty());
+  assert(!scheduler_->empty());
   assert(state_ == PowerState::kIdle || state_ == PowerState::kTransfer ||
          state_ == PowerState::kSpinningUp);
-  current_ = queue_.front();
-  queue_.pop_front();
+  batch_.clear();
+  batch_pos_ = 0;
+  scheduler_->pop_batch(head_lba_, batch_);
+  assert(!batch_.empty());
   service_start_ = sim_.now();
+  ++positionings_;
   enter(PowerState::kPositioning);
-  sim_.schedule_in(params_.position_time(), [this] { finish_positioning(); });
+  sim_.schedule_in(positioning_time(batch_.front().lba),
+                   [this] { finish_positioning(); });
 }
 
 void Disk::finish_positioning() {
   enter(PowerState::kTransfer);
-  sim_.schedule_in(params_.transfer_time(current_.bytes),
+  start_transfer();
+}
+
+void Disk::start_transfer() {
+  sim_.schedule_in(params_.transfer_time(batch_[batch_pos_].bytes),
                    [this] { finish_transfer(); });
 }
 
 void Disk::finish_transfer() {
+  const IoJob& job = batch_[batch_pos_];
   ++served_;
-  bytes_served_ += current_.bytes;
+  bytes_served_ += job.bytes;
+  head_lba_ = job.lba + job.blocks;
   if (on_complete_) {
     Completion c;
-    c.request_id = current_.request_id;
+    c.request_id = job.request_id;
     c.disk_id = id_;
-    c.arrival = current_.arrival;
+    c.arrival = job.arrival;
     c.service_start = service_start_;
     c.completion = sim_.now();
-    c.bytes = current_.bytes;
+    c.bytes = job.bytes;
     on_complete_(c);
   }
-  if (!queue_.empty()) {
+  ++batch_pos_;
+  if (batch_pos_ < batch_.size()) {
+    // Coalesced batch: the next extent is (near-)adjacent, so the head
+    // streams straight into it — no further positioning phase is billed.
+    start_transfer();
+  } else if (!scheduler_->empty()) {
     start_service();
   } else {
     go_idle();
@@ -121,7 +159,7 @@ void Disk::begin_spin_down() {
 void Disk::finish_spin_down() {
   enter(PowerState::kStandby);
   // Requests that arrived during the spin-down force an immediate spin-up.
-  if (!queue_.empty()) begin_spin_up();
+  if (!scheduler_->empty()) begin_spin_up();
 }
 
 void Disk::begin_spin_up() {
@@ -132,7 +170,7 @@ void Disk::begin_spin_up() {
 }
 
 void Disk::finish_spin_up() {
-  if (!queue_.empty()) {
+  if (!scheduler_->empty()) {
     start_service();
   } else {
     // Cannot normally happen (spin-ups are demand-driven), but a policy
@@ -152,6 +190,9 @@ DiskMetrics Disk::metrics(double now) const {
   m.spin_downs = spin_downs_;
   m.served = served_;
   m.bytes_served = bytes_served_;
+  m.queued = scheduler_->size();
+  m.in_service = batch_.size() - batch_pos_;
+  m.positionings = positionings_;
   return m;
 }
 

@@ -1,14 +1,25 @@
-// disk.h — the simulated disk: FCFS service queue + Figure 1 power states.
+// disk.h — the simulated disk: power-state machine + pluggable I/O scheduler.
 //
-// A Disk is a discrete-event actor.  Reads are submitted at the current
-// simulation time and served first-come-first-served, one at a time.  Each
-// service has two billed phases: positioning (avg seek + avg rotation, at
-// seek power) and transfer (size / rate, at active power).  When the queue
-// drains the disk goes idle and asks its SpinDownPolicy for a timeout; when
-// the timer fires it spins down (10 s) into standby (0.8 W).  A request
-// arriving at a standby disk triggers a spin-up (15 s) and is served after
-// it; a request arriving mid-spin-down waits for the spin-down to complete
-// and then for the spin-up (the head cannot abort a retraction).
+// A Disk is a discrete-event actor built from two components:
+//
+//   * the Figure-1 power-state machine (idle/positioning/transfer/
+//     spin-down/standby/spin-up, encoded in power.h) — unchanged from the
+//     paper's model, and
+//   * a pluggable IoScheduler (io_scheduler.h) that decides the service
+//     order and the positioning cost.  The default FcfsScheduler serves in
+//     arrival order with the constant avg-seek + avg-rotation cost, exactly
+//     reproducing the seed simulator; geometry-aware disciplines (SSTF,
+//     SCAN, C-LOOK, batching) order by LBA and are billed
+//     DiskParams::seek_time(head travel) + rotation per positioning phase.
+//
+// Each service batch has two billed phases: positioning (at seek power) and
+// one transfer per batch member (at active power, back-to-back — a coalesced
+// batch pays a single positioning phase).  When the queue drains the disk
+// goes idle and asks its SpinDownPolicy for a timeout; when the timer fires
+// it spins down (10 s) into standby (0.8 W).  A request arriving at a
+// standby disk triggers a spin-up (15 s) and is served after it; a request
+// arriving mid-spin-down waits for the spin-down to complete and then for
+// the spin-up (the head cannot abort a retraction).
 //
 // Every state residency is integrated into a time-weighted ledger, so energy
 // is exact under the piecewise-constant power model.
@@ -16,16 +27,16 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "des/simulation.h"
+#include "disk/io_scheduler.h"
 #include "disk/params.h"
 #include "disk/power.h"
 #include "disk/spin_policy.h"
 #include "stats/time_weighted.h"
+#include "util/inline_function.h"
 #include "util/rng.h"
 
 namespace spindown::disk {
@@ -35,7 +46,7 @@ struct Completion {
   std::uint64_t request_id = 0;
   std::uint32_t disk_id = 0;
   double arrival = 0.0;       ///< submission time
-  double service_start = 0.0; ///< positioning began
+  double service_start = 0.0; ///< the request's batch began positioning
   double completion = 0.0;
   util::Bytes bytes = 0;
 
@@ -44,12 +55,20 @@ struct Completion {
 };
 
 /// Aggregate per-disk counters; energy follows from the state-time ledger.
+/// `queued`/`in_service` snapshot the request population at metrics() time,
+/// so a horizon snapshot accounts for every submitted request exactly once:
+/// submitted == served + in_service + queued.
 struct DiskMetrics {
   std::array<double, kPowerStateCount> state_time{};
   std::uint64_t spin_ups = 0;
   std::uint64_t spin_downs = 0;
   std::uint64_t served = 0;
   util::Bytes bytes_served = 0;
+  std::uint64_t queued = 0;       ///< waiting in the scheduler at snapshot
+  std::uint64_t in_service = 0;   ///< in the active batch (positioning or
+                                  ///< transferring) at snapshot
+  std::uint64_t positionings = 0; ///< positioning phases billed (a coalesced
+                                  ///< batch counts one for several requests)
 
   double time_in(PowerState s) const {
     return state_time[static_cast<std::size_t>(s)];
@@ -63,25 +82,38 @@ struct DiskMetrics {
 
 class Disk {
 public:
-  using CompletionCallback = std::function<void(const Completion&)>;
+  /// Inline storage covers every capture in the simulator (a `this` pointer
+  /// or a couple of references); completions stay on the allocation-free
+  /// hot path.
+  using CompletionCallback = util::InlineFunction<void(const Completion&), 64>;
 
   /// The disk starts spun up and idle at sim.now(), as in the paper's runs.
+  /// `scheduler` defaults (nullptr) to FCFS — the seed-compatible
+  /// discipline.
   Disk(des::Simulation& sim, std::uint32_t id, DiskParams params,
-       std::unique_ptr<SpinDownPolicy> policy, util::Rng rng);
+       std::unique_ptr<SpinDownPolicy> policy, util::Rng rng,
+       std::unique_ptr<IoScheduler> scheduler = nullptr);
 
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
 
-  /// Submit a whole-file read arriving now.  Completion is reported through
-  /// the callback (if set).
-  void submit(std::uint64_t request_id, util::Bytes bytes);
+  /// Submit a whole-file read arriving now.  `lba`/`blocks` locate the
+  /// file's extent in this disk's logical-block space (the dispatcher
+  /// computes them from the catalog layout); `blocks` == 0 derives the
+  /// extent length from `bytes`.  Completion is reported through the
+  /// callback (if set).
+  void submit(std::uint64_t request_id, util::Bytes bytes,
+              std::uint64_t lba = 0, std::uint64_t blocks = 0);
 
   void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
 
   std::uint32_t id() const { return id_; }
   const DiskParams& params() const { return params_; }
   PowerState state() const { return state_; }
-  std::size_t queue_length() const { return queue_.size(); }
+  const IoScheduler& scheduler() const { return *scheduler_; }
+  std::size_t queue_length() const { return scheduler_->size(); }
+  /// Current head position (first block past the last transferred extent).
+  std::uint64_t head_lba() const { return head_lba_; }
 
   /// Snapshot of the counters with the ledger flushed to `now`.
   DiskMetrics metrics(double now) const;
@@ -92,15 +124,11 @@ public:
   const std::vector<double>& idle_gaps() const { return idle_gaps_; }
 
 private:
-  struct Job {
-    std::uint64_t request_id;
-    util::Bytes bytes;
-    double arrival;
-  };
-
   void enter(PowerState next);
+  double positioning_time(std::uint64_t target_lba) const;
   void start_service();
   void finish_positioning();
+  void start_transfer();
   void finish_transfer();
   void go_idle();
   void arm_idle_timer();
@@ -115,11 +143,18 @@ private:
   DiskParams params_;
   std::unique_ptr<SpinDownPolicy> policy_;
   util::Rng rng_;
+  std::unique_ptr<IoScheduler> scheduler_;
 
   PowerState state_ = PowerState::kIdle;
   stats::TimeWeighted<PowerState, kPowerStateCount> ledger_;
-  std::deque<Job> queue_;
-  Job current_{};
+  /// The batch currently owning the head: batch_[batch_pos_] is being
+  /// transferred (or about to be, during positioning); earlier entries are
+  /// complete.  Storage is reused across batches (grow-only).
+  std::vector<IoJob> batch_;
+  std::size_t batch_pos_ = 0;
+  std::uint64_t head_lba_ = 0;
+  double capacity_blocks_ = 1.0;
+  std::uint64_t submit_seq_ = 0;
   des::EventHandle idle_timer_;
   double idle_since_ = 0.0;
   double service_start_ = 0.0;
@@ -128,6 +163,7 @@ private:
   std::uint64_t spin_ups_ = 0;
   std::uint64_t spin_downs_ = 0;
   std::uint64_t served_ = 0;
+  std::uint64_t positionings_ = 0;
   util::Bytes bytes_served_ = 0;
   std::vector<double> idle_gaps_;
 };

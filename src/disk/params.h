@@ -45,6 +45,22 @@ struct DiskParams {
   /// Positioning part of a service (seek + rotation), billed at seek power.
   double position_time() const { return avg_seek_s + avg_rotation_s; }
 
+  /// Geometry-aware seek time for a head travel of `distance_fraction` of
+  /// the full stroke (0 = already on track, 1 = full sweep).  Linear curve
+  ///   seek(d) = s_min + (s_max - s_min) * d
+  /// with s_min = avg_seek_s / 3 (the settle floor: even a re-hit of the
+  /// current track pays head settling) and s_max = (7/3) * avg_seek_s,
+  /// calibrated so the mean over uniform independent head/target positions
+  /// (E[|x - y|] = 1/3) is exactly avg_seek_s — Table 1/2's avg_seek_s
+  /// keeps its meaning and FCFS under random placement matches the legacy
+  /// constant-cost model in expectation.  Used only by geometry-aware I/O
+  /// schedulers (io_scheduler.h); FCFS bills position_time() unchanged.
+  double seek_time(double distance_fraction) const {
+    const double s_min = avg_seek_s / 3.0;
+    const double s_max = 3.0 * avg_seek_s - 2.0 * s_min;
+    return s_min + (s_max - s_min) * distance_fraction;
+  }
+
   /// Transfer part of a service, billed at active power.
   double transfer_time(util::Bytes bytes) const {
     return static_cast<double>(bytes) / transfer_bps;

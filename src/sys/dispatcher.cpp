@@ -20,6 +20,8 @@ Dispatcher::Dispatcher(des::Simulation& sim,
       throw std::invalid_argument{"Dispatcher: mapping references unknown disk"};
     }
   }
+  extents_ = workload::layout_extents(
+      catalog, mapping_, static_cast<std::uint32_t>(disks_.size()));
 }
 
 void Dispatcher::dispatch(const workload::Request& request) {
@@ -39,7 +41,10 @@ void Dispatcher::dispatch(const workload::Request& request) {
     }
     return;
   }
-  disks_[mapping_[file.id]]->submit(request.id, file.size);
+  const auto& extent = extents_[file.id];
+  const std::uint64_t lba =
+      request.lba != workload::kNoLba ? request.lba : extent.lba;
+  disks_[mapping_[file.id]]->submit(request.id, file.size, lba, extent.blocks);
 }
 
 } // namespace spindown::sys

@@ -5,9 +5,14 @@
 // using Pack_Disks...  The mapping time in the dispatcher is ignored."
 // An optional front cache (§5.1's 16 GB LRU) intercepts requests before they
 // reach a disk; hits complete with a configurable latency (0 by default).
+//
+// Geometry: the dispatcher owns the logical-block layout of the mapping
+// (workload::layout_extents) and stamps every submitted request with its
+// file's LBA extent, so geometry-aware I/O schedulers see the locality the
+// allocation created.  A request carrying an explicit lba (a trace replay)
+// keeps it.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -15,6 +20,7 @@
 #include "core/item.h"
 #include "des/simulation.h"
 #include "disk/disk.h"
+#include "util/inline_function.h"
 #include "workload/stream.h"
 
 namespace spindown::sys {
@@ -30,7 +36,8 @@ public:
              cache::FileCache* cache = nullptr,
              double cache_hit_latency_s = 0.0);
 
-  using HitCallback = std::function<void(std::uint64_t, double)>;
+  /// Inline storage keeps the cache-hit path on the allocation-free loop.
+  using HitCallback = util::InlineFunction<void(std::uint64_t, double), 64>;
   void set_hit_callback(HitCallback cb) { on_hit_ = std::move(cb); }
 
   /// Route a request arriving now.
@@ -41,11 +48,17 @@ public:
   /// Which disk serves this file.
   std::uint32_t disk_of(workload::FileId id) const { return mapping_.at(id); }
 
+  /// The file's LBA extent on its disk (catalog layout order).
+  const workload::FileExtent& extent_of(workload::FileId id) const {
+    return extents_.at(id);
+  }
+
 private:
   des::Simulation& sim_;
   const workload::FileCatalog& catalog_;
   std::vector<std::uint32_t> mapping_;
   std::vector<disk::Disk*> disks_;
+  std::vector<workload::FileExtent> extents_;
   cache::FileCache* cache_;
   double cache_hit_latency_;
   HitCallback on_hit_;

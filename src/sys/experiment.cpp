@@ -27,6 +27,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
   StorageSystem system{*config.catalog, config.mapping, config.num_disks,
                        config.params,   config.policy,  cache.get(),
                        config.seed};
+  system.set_scheduler(config.scheduler);
   for (const auto& [disk, policy] : config.policy_overrides) {
     system.set_policy_override(disk, policy);
   }

@@ -68,6 +68,9 @@ struct ExperimentConfig {
   std::uint32_t num_disks = 0;
   disk::DiskParams params = disk::DiskParams::st3500630as();
   PolicySpec policy = PolicySpec::break_even();
+  /// Service discipline per disk (default FCFS = the seed behavior); the
+  /// scheduler × spin-policy grid is bench/ablation_schedulers.cpp.
+  SchedulerSpec scheduler = SchedulerSpec::fcfs();
   /// Per-disk exceptions to `policy` (e.g. MAID's always-on cache disks).
   std::vector<std::pair<std::uint32_t, PolicySpec>> policy_overrides;
   CacheSpec cache = CacheSpec::none();

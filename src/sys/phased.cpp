@@ -80,6 +80,7 @@ PhasedResult run_phased(const PhasedConfig& config) {
                            current.disk_count, config.model.disk,
                            config.policy, cache.get(),
                            config.seed + w};
+      system.set_scheduler(config.scheduler);
       workload::PoissonZipfStream inner{window_catalog, config.model.rate,
                                         config.window_s,
                                         util::Rng{config.seed + w}};

@@ -41,6 +41,7 @@ struct PhasedConfig {
   /// adapt slowly.  The phased tests and bench quantify the effect.
   double count_decay = 0.5;
   PolicySpec policy = PolicySpec::break_even();
+  SchedulerSpec scheduler = SchedulerSpec::fcfs();
   std::uint64_t seed = 1;
 };
 

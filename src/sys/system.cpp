@@ -5,6 +5,41 @@
 
 namespace spindown::sys {
 
+std::unique_ptr<disk::IoScheduler> SchedulerSpec::make() const {
+  switch (kind) {
+    case Kind::kFcfs: return disk::make_fcfs_scheduler();
+    case Kind::kSstf: return disk::make_sstf_scheduler();
+    case Kind::kScan: return disk::make_scan_scheduler();
+    case Kind::kClook: return disk::make_clook_scheduler();
+    case Kind::kBatch:
+      return disk::make_batch_scheduler(max_batch, coalesce_gap_blocks);
+  }
+  throw std::logic_error{"SchedulerSpec: unknown kind"};
+}
+
+std::string SchedulerSpec::name() const { return make()->name(); }
+
+SchedulerSpec SchedulerSpec::parse(const std::string& name) {
+  if (name == "fcfs") return fcfs();
+  if (name == "sstf") return sstf();
+  if (name == "scan") return scan();
+  if (name == "clook") return clook();
+  // "batch" or "batchN" (N = max batch size) — the latter is what name()
+  // emits, so labels copied from reports round-trip.
+  if (name.rfind("batch", 0) == 0) {
+    const std::string suffix = name.substr(5);
+    if (suffix.empty()) return batch();
+    const bool numeric = !suffix.empty() &&
+                         suffix.find_first_not_of("0123456789") == std::string::npos;
+    if (numeric) {
+      const unsigned long n = std::stoul(suffix);
+      if (n > 0) return batch(static_cast<std::uint32_t>(n));
+    }
+  }
+  throw std::invalid_argument{"SchedulerSpec: unknown scheduler '" + name +
+                              "' (want fcfs|sstf|scan|clook|batch[N])"};
+}
+
 std::unique_ptr<disk::SpinDownPolicy> PolicySpec::make(
     const disk::DiskParams& p) const {
   switch (kind) {
@@ -67,7 +102,8 @@ RunResult StorageSystem::run(workload::RequestStream& stream,
       if (disk_id == d) policy = &override_policy;
     }
     disks.push_back(std::make_unique<disk::Disk>(
-        sim, d, params_, policy->make(params_), farm_rng.split()));
+        sim, d, params_, policy->make(params_), farm_rng.split(),
+        scheduler_.make()));
   }
 
   RunResult result;
@@ -143,6 +179,8 @@ RunResult StorageSystem::run(workload::RequestStream& stream,
     }
     position_s += m.time_in(disk::PowerState::kPositioning);
     transfer_s += m.time_in(disk::PowerState::kTransfer);
+    result.completed_at_horizon += m.served;
+    result.in_flight_at_horizon += m.queued + m.in_service;
   }
   result.per_disk = std::move(snapshot);
   result.power.average_power =

@@ -25,6 +25,31 @@
 
 namespace spindown::sys {
 
+/// I/O scheduling discipline selection for a whole farm (io_scheduler.h).
+/// Declarative like PolicySpec so experiment grids can sweep the discipline
+/// axis; the default (FCFS) is bit-compatible with the seed simulator.
+struct SchedulerSpec {
+  enum class Kind { kFcfs, kSstf, kScan, kClook, kBatch };
+  Kind kind = Kind::kFcfs;
+  std::uint32_t max_batch = 16;             ///< kBatch: jobs per positioning
+  std::uint64_t coalesce_gap_blocks = 2048; ///< kBatch: max forward gap (1 MiB)
+
+  static SchedulerSpec fcfs() { return {}; }
+  static SchedulerSpec sstf() { return SchedulerSpec{Kind::kSstf, 0, 0}; }
+  static SchedulerSpec scan() { return SchedulerSpec{Kind::kScan, 0, 0}; }
+  static SchedulerSpec clook() { return SchedulerSpec{Kind::kClook, 0, 0}; }
+  static SchedulerSpec batch(std::uint32_t max_batch = 16,
+                             std::uint64_t gap_blocks = 2048) {
+    return SchedulerSpec{Kind::kBatch, max_batch, gap_blocks};
+  }
+  /// Parse a CLI name ("fcfs", "sstf", "scan", "clook", "batch"); throws
+  /// std::invalid_argument on anything else.
+  static SchedulerSpec parse(const std::string& name);
+
+  std::unique_ptr<disk::IoScheduler> make() const;
+  std::string name() const;
+};
+
 /// Spin-down policy selection for a whole farm.
 struct PolicySpec {
   enum class Kind { kBreakEven, kFixed, kNever, kRandomized };
@@ -60,6 +85,19 @@ struct RunResult {
   cache::CacheStats cache;     ///< zeros when no cache configured
   std::uint64_t requests = 0;
   std::vector<disk::DiskMetrics> per_disk; ///< at the horizon
+  /// Horizon accounting (from the same snapshot as per_disk/energy, so every
+  /// dispatched request is counted exactly once at the horizon).  When the
+  /// stream's arrivals all land inside [0, horizon) — true for every
+  /// built-in workload: Poisson generates up to the horizon exclusive and
+  /// trace replays measure over duration + 1 s — the identity
+  ///   requests == completed_at_horizon + in_flight_at_horizon + cache.hits
+  /// holds exactly.  (`requests` and `cache` are whole-run totals; a custom
+  /// stream emitting arrivals past the horizon would inflate them relative
+  /// to the two snapshot fields.)  `response` always covers all requests —
+  /// in-flight services run to completion after the horizon and record
+  /// their response times.
+  std::uint64_t completed_at_horizon = 0; ///< sum of per-disk served
+  std::uint64_t in_flight_at_horizon = 0; ///< sum of per-disk queued + in_service
 };
 
 class StorageSystem {
@@ -76,6 +114,10 @@ public:
   /// disks).  Disks without an entry use the constructor's policy.
   void set_policy_override(std::uint32_t disk, const PolicySpec& policy);
 
+  /// Service discipline for every disk in the farm (default: FCFS, the
+  /// seed-compatible behavior).  Call before run().
+  void set_scheduler(const SchedulerSpec& scheduler) { scheduler_ = scheduler; }
+
   /// Drive the stream to exhaustion, measure energy over
   /// [0, max(stream end, `min_horizon`)], then drain in-flight requests.
   RunResult run(workload::RequestStream& stream, double min_horizon = 0.0);
@@ -86,6 +128,7 @@ private:
   std::uint32_t num_disks_;
   disk::DiskParams params_;
   PolicySpec policy_;
+  SchedulerSpec scheduler_;
   cache::FileCache* cache_;
   std::uint64_t seed_;
   double cache_hit_latency_;

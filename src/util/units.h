@@ -30,6 +30,16 @@ inline constexpr Seconds kMinute = 60.0;
 inline constexpr Seconds kHour = 3600.0;
 inline constexpr Seconds kDay = 86400.0;
 
+/// Logical-block size for disk geometry (LBA extents).  512-byte sectors:
+/// the unit real drives address, small enough that every file in the
+/// paper's catalogs spans many blocks.
+inline constexpr Bytes kBlockBytes = 512ULL;
+
+/// Extent length of a byte count in kBlockBytes blocks (ceiling).
+constexpr std::uint64_t blocks_of(Bytes bytes) {
+  return (bytes + kBlockBytes - 1) / kBlockBytes;
+}
+
 /// Convenience constructors so call sites read like the paper's tables.
 constexpr Bytes mb(double v) { return static_cast<Bytes>(v * static_cast<double>(kMB)); }
 constexpr Bytes gb(double v) { return static_cast<Bytes>(v * static_cast<double>(kGB)); }

@@ -104,4 +104,24 @@ FileCatalog generate_catalog(const SyntheticSpec& spec, util::Rng& rng) {
   return FileCatalog{std::move(files)};
 }
 
+std::vector<FileExtent> layout_extents(const FileCatalog& catalog,
+                                       const std::vector<std::uint32_t>& mapping,
+                                       std::uint32_t num_disks) {
+  if (mapping.size() < catalog.size()) {
+    throw std::invalid_argument{"layout_extents: mapping smaller than catalog"};
+  }
+  std::vector<std::uint64_t> cursor(num_disks, 0);
+  std::vector<FileExtent> extents(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto disk = mapping[i];
+    if (disk >= num_disks) {
+      throw std::invalid_argument{"layout_extents: mapping references unknown disk"};
+    }
+    extents[i].lba = cursor[disk];
+    extents[i].blocks = util::blocks_of(catalog[i].size);
+    cursor[disk] += extents[i].blocks;
+  }
+  return extents;
+}
+
 } // namespace spindown::workload

@@ -27,10 +27,21 @@ namespace spindown::workload {
 
 using FileId = std::uint32_t;
 
+/// "No logical block address": requests carrying this sentinel are located
+/// by the dispatcher from the catalog layout (layout_extents below).
+inline constexpr std::uint64_t kNoLba = ~0ULL;
+
 struct FileInfo {
   FileId id = 0;
   util::Bytes size = 0;
   double popularity = 0.0; ///< access probability p_i; catalog sums to 1
+};
+
+/// Contiguous logical-block extent of a file on its assigned disk:
+/// [lba, lba + blocks) in util::kBlockBytes blocks, per-disk address space.
+struct FileExtent {
+  std::uint64_t lba = 0;
+  std::uint64_t blocks = 0;
 };
 
 class FileCatalog {
@@ -83,5 +94,16 @@ struct SyntheticSpec {
 /// Deterministically build a catalog from a spec.  The rng is used only for
 /// the kIndependent correlation mode (random size permutation).
 FileCatalog generate_catalog(const SyntheticSpec& spec, util::Rng& rng);
+
+/// Logical-block layout of an assignment: file i receives a contiguous
+/// extent on disk mapping[i], packed in file-id order from LBA 0 upward
+/// (each disk has its own address space).  Packing from the outer tracks
+/// down keeps co-located files close, so geometry-aware schedulers see the
+/// locality the allocation created.  `mapping` is an Assignment's disk_of;
+/// mapping.size() must cover the catalog.  Returned vector is indexed by
+/// file id.
+std::vector<FileExtent> layout_extents(const FileCatalog& catalog,
+                                       const std::vector<std::uint32_t>& mapping,
+                                       std::uint32_t num_disks);
 
 } // namespace spindown::workload

@@ -33,6 +33,7 @@ std::optional<Request> TraceStream::next() {
   r.id = pos_;
   r.arrival = rec.time;
   r.file = rec.file;
+  r.lba = rec.lba;
   ++pos_;
   return r;
 }

@@ -22,6 +22,10 @@ struct Request {
   std::uint64_t id = 0;   ///< dense sequence number, 0-based
   double arrival = 0.0;   ///< seconds from simulation start
   FileId file = 0;
+  /// Logical block address of the read, in the target disk's address space.
+  /// kNoLba (the default) means "whole file at its catalog-layout extent";
+  /// trace replays can pin a request to an explicit address instead.
+  std::uint64_t lba = kNoLba;
 };
 
 /// Pull-based stream of requests in non-decreasing arrival order.

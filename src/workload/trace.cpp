@@ -36,10 +36,23 @@ void Trace::save(const std::filesystem::path& stem) const {
     }
   }
   {
+    // The lba column is only written when some record carries an explicit
+    // address, so traces saved by older revisions round-trip unchanged.
+    const bool with_lba =
+        std::any_of(records_.begin(), records_.end(),
+                    [](const TraceRecord& r) { return r.lba != kNoLba; });
     util::CsvWriter tr{std::filesystem::path{stem.string() + ".trace.csv"}};
-    tr.write_row({"time_s", "file_id"});
-    for (const auto& r : records_) {
-      tr.row(std::to_string(r.time), std::to_string(r.file));
+    if (with_lba) {
+      tr.write_row({"time_s", "file_id", "lba"});
+      for (const auto& r : records_) {
+        tr.row(std::to_string(r.time), std::to_string(r.file),
+               r.lba == kNoLba ? std::string{} : std::to_string(r.lba));
+      }
+    } else {
+      tr.write_row({"time_s", "file_id"});
+      for (const auto& r : records_) {
+        tr.row(std::to_string(r.time), std::to_string(r.file));
+      }
     }
   }
 }
@@ -66,8 +79,14 @@ Trace Trace::load(const std::filesystem::path& stem) {
     if (!header) throw std::runtime_error{"Trace::load: empty trace csv"};
     while (auto row = tr.next()) {
       if (row->size() < 2) throw std::runtime_error{"Trace::load: bad trace row"};
-      records.push_back(TraceRecord{std::stod((*row)[0]),
-                                    static_cast<FileId>(std::stoul((*row)[1]))});
+      TraceRecord rec;
+      rec.time = std::stod((*row)[0]);
+      rec.file = static_cast<FileId>(std::stoul((*row)[1]));
+      // Optional third column: explicit lba (may be empty per-row).
+      if (row->size() >= 3 && !(*row)[2].empty()) {
+        rec.lba = std::stoull((*row)[2]);
+      }
+      records.push_back(rec);
     }
   }
   return Trace{FileCatalog{std::move(files)}, std::move(records)};

@@ -21,6 +21,9 @@ namespace spindown::workload {
 struct TraceRecord {
   double time = 0.0; ///< arrival, seconds from trace start
   FileId file = 0;
+  /// Optional explicit logical block address; kNoLba = locate the file via
+  /// the catalog layout (the common case for synthesized traces).
+  std::uint64_t lba = kNoLba;
 };
 
 class Trace {

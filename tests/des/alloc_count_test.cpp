@@ -18,6 +18,10 @@
 #include <new>
 
 #include "des/simulation.h"
+#include "disk/disk.h"
+#include "disk/io_scheduler.h"
+#include "disk/spin_policy.h"
+#include "util/units.h"
 
 namespace {
 std::atomic<std::uint64_t> g_news{0};
@@ -93,6 +97,59 @@ TEST(AllocCount, SteadyStateScheduleCancelCycleIsAllocationFree) {
   sim.run();
   const std::uint64_t after = allocation_count();
   EXPECT_EQ(after - before, 0u);
+}
+
+// The completion chain through the disk: submit -> schedule positioning ->
+// schedule transfer -> completion callback -> resubmit.  With the
+// InlineFunction callbacks and the schedulers' grow-only storage the whole
+// cycle must be allocation-free once warm — the refactored request path
+// keeps PR 2's zero-alloc property end to end.
+void run_disk_cycle_test(std::unique_ptr<spindown::disk::IoScheduler> sched) {
+  using spindown::disk::Completion;
+  using spindown::disk::Disk;
+  Simulation sim;
+  Disk disk{sim, 0, spindown::disk::DiskParams::st3500630as(),
+            spindown::disk::make_never_policy(), spindown::util::Rng{1},
+            std::move(sched)};
+
+  struct Chain {
+    Simulation& sim;
+    Disk& disk;
+    std::uint64_t remaining;
+    std::uint64_t measure_at;
+    std::uint64_t before = 0;
+    std::uint64_t lba = 0;
+    void submit_next() {
+      lba = (lba + 4096) % 1'000'000;
+      disk.submit(remaining, 100 * spindown::util::kBlockBytes, lba, 100);
+    }
+    void operator()(const Completion&) {
+      // Snapshot after the warm-up portion of one continuous chain (the
+      // disk never goes idle in between, so no lazy growth straddles the
+      // measured region).
+      if (remaining == measure_at) before = allocation_count();
+      if (remaining-- > 0) submit_next();
+    }
+  };
+  Chain chain{sim, disk, 20'000, /*measure_at=*/18'000};
+  disk.set_completion_callback([&chain](const Completion& c) { chain(c); });
+  sim.schedule_at(0.0, [&chain] { chain.submit_next(); });
+  sim.run();
+  const std::uint64_t after = allocation_count();
+  EXPECT_EQ(after - chain.before, 0u);
+  EXPECT_EQ(disk.metrics(sim.now()).served, 20'001u);
+}
+
+TEST(AllocCount, DiskSubmitCompleteCycleIsAllocationFreeFcfs) {
+  run_disk_cycle_test(spindown::disk::make_fcfs_scheduler());
+}
+
+TEST(AllocCount, DiskSubmitCompleteCycleIsAllocationFreeSstf) {
+  run_disk_cycle_test(spindown::disk::make_sstf_scheduler());
+}
+
+TEST(AllocCount, DiskSubmitCompleteCycleIsAllocationFreeBatch) {
+  run_disk_cycle_test(spindown::disk::make_batch_scheduler());
 }
 
 TEST(AllocCount, OversizedCaptureDoesAllocate) {

@@ -103,6 +103,73 @@ TEST_F(DispatcherFixture, CacheHitLatencyIsScheduled) {
   EXPECT_DOUBLE_EQ(hit_time, 5.25);
 }
 
+TEST_F(DispatcherFixture, ComputesCatalogLayoutExtents) {
+  // Mapping {0, 1, 0}: files 0 and 2 share disk 0, packed in id order.
+  Dispatcher d{sim_, catalog_, {0, 1, 0}, disk_ptrs()};
+  EXPECT_EQ(d.extent_of(0).lba, 0u);
+  EXPECT_EQ(d.extent_of(0).blocks, util::blocks_of(util::mb(72.0)));
+  EXPECT_EQ(d.extent_of(1).lba, 0u); // its own disk's address space
+  EXPECT_EQ(d.extent_of(2).lba, util::blocks_of(util::mb(72.0)));
+  EXPECT_EQ(d.extent_of(2).blocks, util::blocks_of(util::mb(36.0)));
+}
+
+TEST_F(DispatcherFixture, StampsRequestsWithLayoutLba) {
+  // With an SSTF disk the service order reveals the submitted LBAs: a
+  // burst of (file 2, file 0) requests on disk 0 serves file 0 first
+  // (extent at LBA 0, nearest the head) even though file 2 arrived first.
+  disks_.clear();
+  completions_.clear();
+  disks_.push_back(std::make_unique<disk::Disk>(
+      sim_, 0, params_, disk::make_never_policy(), util::Rng{0},
+      disk::make_sstf_scheduler()));
+  disks_.back()->set_completion_callback(
+      [this](const disk::Completion& c) { completions_.push_back(c); });
+  Dispatcher d{sim_, catalog_, {0, 0, 0}, disk_ptrs()};
+  // Layout on disk 0 in id order: file 0 at [0, b0), file 1 at [b0, b0+b1),
+  // file 2 at [b0+b1, ...).  Serving file 0 parks the head exactly at
+  // file 1's extent, so the queued file-1 request beats the earlier-arrived
+  // file-2 request — FCFS would serve 0, 1, 2.
+  sim_.schedule_at(0.0, [&] {
+    d.dispatch(req(0, 0, 0.0)); // in service immediately
+    d.dispatch(req(1, 2, 0.0)); // far extent, arrived first
+    d.dispatch(req(2, 1, 0.0)); // adjacent extent, arrived second
+  });
+  sim_.run();
+  ASSERT_EQ(completions_.size(), 3u);
+  EXPECT_EQ(completions_[0].request_id, 0u);
+  EXPECT_EQ(completions_[1].request_id, 2u);
+  EXPECT_EQ(completions_[2].request_id, 1u);
+}
+
+TEST_F(DispatcherFixture, ExplicitRequestLbaOverridesLayout) {
+  disks_.clear();
+  completions_.clear();
+  disks_.push_back(std::make_unique<disk::Disk>(
+      sim_, 0, params_, disk::make_never_policy(), util::Rng{0},
+      disk::make_sstf_scheduler()));
+  disks_.back()->set_completion_callback(
+      [this](const disk::Completion& c) { completions_.push_back(c); });
+  Dispatcher d{sim_, catalog_, {0, 0, 0}, disk_ptrs()};
+  // A trace-pinned lba reaches the disk: the single request's positioning
+  // is billed for the pinned distance, not the layout extent's (file 0's
+  // layout lba is 0 = the head's start, which would cost only the settle
+  // floor).
+  const std::uint64_t pinned = util::blocks_of(params_.capacity) / 2;
+  sim_.schedule_at(0.0, [&] {
+    auto r = req(0, 0, 0.0);
+    r.lba = pinned;
+    d.dispatch(r);
+  });
+  sim_.run();
+  ASSERT_EQ(completions_.size(), 1u);
+  const double dist = static_cast<double>(pinned) /
+                      static_cast<double>(util::blocks_of(params_.capacity));
+  EXPECT_NEAR(completions_[0].response_time(),
+              params_.seek_time(dist) + params_.avg_rotation_s +
+                  params_.transfer_time(util::mb(72.0)),
+              1e-9);
+}
+
 TEST_F(DispatcherFixture, NoCacheMeansEveryRequestHitsDisks) {
   Dispatcher d{sim_, catalog_, {0, 0, 0}, disk_ptrs()};
   sim_.schedule_at(0.0, [&] {

@@ -147,6 +147,67 @@ TEST_F(PhasedFixture, AdaptiveKeepsResponseBoundedUnderDrift) {
   EXPECT_LT(adaptive_resp, static_resp);
 }
 
+TEST_F(PhasedFixture, MigrationEnergyFollowsTheByteCostModel) {
+  // The migration account bills every moved byte one read + one write at
+  // the device's transfer rate and active power:
+  //   E = 2 * bytes / B * P_active
+  // both in total and per window report.
+  const auto cat = zipf_catalog(400);
+  auto cfg = base_config(cat);
+  cfg.reorganize = true;
+  const auto r = run_phased(cfg);
+  ASSERT_GT(r.migrated_bytes, 0u);
+  const auto& p = cfg.model.disk;
+  const double expected_total = 2.0 * static_cast<double>(r.migrated_bytes) /
+                                p.transfer_bps * p.active_w;
+  EXPECT_NEAR(r.migration_energy, expected_total, 1e-6 * expected_total);
+  util::Bytes window_bytes = 0;
+  util::Joules window_energy = 0.0;
+  for (const auto& w : r.windows) {
+    window_bytes += w.migrated_bytes;
+    window_energy += w.migration_energy;
+    EXPECT_NEAR(w.migration_energy,
+                2.0 * static_cast<double>(w.migrated_bytes) / p.transfer_bps *
+                    p.active_w,
+                1e-9 + 1e-12 * w.migration_energy);
+  }
+  EXPECT_EQ(window_bytes, r.migrated_bytes);
+  EXPECT_NEAR(window_energy, r.migration_energy, 1e-6);
+}
+
+TEST_F(PhasedFixture, CountDecayIsARealParameter) {
+  // The EWMA state (state = decay * state + window_counts) must actually
+  // feed the planner: different decay values reach different plans on a
+  // drifting workload, and each value is deterministic.
+  const auto cat = zipf_catalog(400);
+  auto cfg = base_config(cat);
+  cfg.windows = 4;
+  cfg.count_decay = 0.0;
+  const auto last_only_a = run_phased(cfg);
+  const auto last_only_b = run_phased(cfg);
+  EXPECT_EQ(last_only_a.migrated_bytes, last_only_b.migrated_bytes);
+  cfg.count_decay = 0.9;
+  const auto heavy_memory = run_phased(cfg);
+  EXPECT_NE(last_only_a.migrated_bytes, heavy_memory.migrated_bytes);
+}
+
+TEST_F(PhasedFixture, SchedulerSpecPlumbsThroughPhasedRuns) {
+  // The discipline axis reaches the windowed runner: a geometry-aware
+  // scheduler changes the positioning cost, so energy moves; FCFS keeps
+  // the seed numbers.
+  const auto cat = zipf_catalog(300);
+  auto cfg = base_config(cat);
+  cfg.reorganize = false;
+  const auto fcfs_a = run_phased(cfg);
+  cfg.scheduler = SchedulerSpec::fcfs();
+  const auto fcfs_b = run_phased(cfg);
+  EXPECT_DOUBLE_EQ(fcfs_a.total_energy, fcfs_b.total_energy);
+  cfg.scheduler = SchedulerSpec::sstf();
+  const auto sstf = run_phased(cfg);
+  EXPECT_NE(fcfs_a.total_energy, sstf.total_energy);
+  EXPECT_NE(fcfs_a.response.mean(), sstf.response.mean());
+}
+
 TEST_F(PhasedFixture, DeterministicGivenConfig) {
   const auto cat = zipf_catalog(300);
   const auto cfg = base_config(cat);

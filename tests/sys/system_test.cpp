@@ -144,5 +144,106 @@ TEST(StorageSystem, RandomizedPolicySeedsDifferPerDisk) {
   EXPECT_GT(idle_times.size(), 1u);
 }
 
+TEST(SchedulerSpecTest, FactoryNamesAndParse) {
+  EXPECT_EQ(SchedulerSpec::fcfs().name(), "fcfs");
+  EXPECT_EQ(SchedulerSpec::sstf().name(), "sstf");
+  EXPECT_EQ(SchedulerSpec::scan().name(), "scan");
+  EXPECT_EQ(SchedulerSpec::clook().name(), "clook");
+  EXPECT_EQ(SchedulerSpec::batch(8).name(), "batch8");
+  EXPECT_EQ(SchedulerSpec::parse("sstf").name(), "sstf");
+  EXPECT_EQ(SchedulerSpec::parse("fcfs").kind, SchedulerSpec::Kind::kFcfs);
+  // name() round-trips through parse(), including the parameterized batch.
+  EXPECT_EQ(SchedulerSpec::parse("batch8").max_batch, 8u);
+  EXPECT_EQ(SchedulerSpec::parse(SchedulerSpec::batch(8).name()).name(),
+            "batch8");
+  EXPECT_THROW(SchedulerSpec::parse("elevator"), std::invalid_argument);
+  EXPECT_THROW(SchedulerSpec::parse("batchx"), std::invalid_argument);
+  EXPECT_THROW(SchedulerSpec::parse("batch0"), std::invalid_argument);
+}
+
+TEST(StorageSystem, SchedulerDisciplineDifferentiatesQueueBuildingLoad) {
+  // 40 small files on one disk, all requested in one burst in shuffled
+  // order: the queue is deep, FCFS jumps across the layout while the
+  // geometry-aware disciplines sweep it — mean response and energy must
+  // differ, and the batching scheduler must coalesce positioning phases.
+  const auto cat = uniform_catalog(40, util::mb(8.0));
+  std::vector<workload::TraceRecord> records;
+  for (std::size_t i = 0; i < 40; ++i) {
+    // Deterministic shuffle: stride 17 is coprime with 40.
+    records.push_back({0.0, static_cast<workload::FileId>((i * 17) % 40)});
+  }
+  const workload::Trace trace{cat, std::move(records)};
+
+  auto run_with = [&](const SchedulerSpec& spec) {
+    StorageSystem sys{cat, std::vector<std::uint32_t>(40, 0), 1,
+                      disk::DiskParams::st3500630as(), PolicySpec::never()};
+    sys.set_scheduler(spec);
+    workload::TraceStream stream{trace};
+    return sys.run(stream, 600.0); // horizon covers the full drain
+  };
+  const auto fcfs = run_with(SchedulerSpec::fcfs());
+  const auto sstf = run_with(SchedulerSpec::sstf());
+  const auto scan = run_with(SchedulerSpec::scan());
+  const auto batch = run_with(SchedulerSpec::batch());
+
+  // The burst built a real queue: mean response far exceeds one service.
+  const double svc =
+      disk::DiskParams::st3500630as().service_time(util::mb(8.0));
+  EXPECT_GT(fcfs.response.mean(), 5.0 * svc);
+
+  // Geometry-aware sweeps position cheaper than the constant-cost FCFS.
+  EXPECT_LT(sstf.response.mean(), fcfs.response.mean());
+  EXPECT_LT(scan.response.mean(), fcfs.response.mean());
+  EXPECT_LT(batch.response.mean(), fcfs.response.mean());
+  EXPECT_LT(sstf.power.energy, fcfs.power.energy);
+  EXPECT_LT(batch.power.energy, fcfs.power.energy);
+
+  // Batching coalesced adjacent extents: fewer positioning phases than
+  // requests; the one-at-a-time disciplines pay one per request.
+  auto positionings = [](const RunResult& r) {
+    std::uint64_t n = 0;
+    for (const auto& m : r.per_disk) n += m.positionings;
+    return n;
+  };
+  EXPECT_EQ(positionings(fcfs), 40u);
+  EXPECT_EQ(positionings(sstf), 40u);
+  EXPECT_LT(positionings(batch), 40u);
+
+  // Every discipline serves every request exactly once.
+  for (const auto* r : {&fcfs, &sstf, &scan, &batch}) {
+    EXPECT_EQ(r->response.count(), 40u);
+    EXPECT_EQ(r->completed_at_horizon, 40u);
+    EXPECT_EQ(r->in_flight_at_horizon, 0u);
+  }
+}
+
+TEST(StorageSystem, HorizonSnapshotCountsInFlightExactlyOnce) {
+  // Two disks, 10 s transfers; at the 11 s horizon disk 0 has one request
+  // served and one mid-transfer, disk 1 has one mid-transfer and one
+  // queued.  The snapshot must place each of the five requests in exactly
+  // one bucket, while the response summary still drains them all.
+  const auto cat = uniform_catalog(4, util::mb(720.0));
+  const workload::Trace trace{
+      cat, {{0.0, 0}, {0.0, 1}, {2.0, 2}, {2.5, 3}}};
+  StorageSystem sys{cat, {0, 0, 1, 1}, 2, disk::DiskParams::st3500630as(),
+                    PolicySpec::never()};
+  workload::TraceStream stream{trace};
+  const auto r = sys.run(stream, 11.0);
+  EXPECT_EQ(r.requests, 4u);
+  EXPECT_EQ(r.completed_at_horizon, 1u);
+  EXPECT_EQ(r.in_flight_at_horizon, 3u);
+  EXPECT_EQ(r.completed_at_horizon + r.in_flight_at_horizon + r.cache.hits,
+            r.requests);
+  // Disk 0: served 1, transferring 1.  Disk 1: transferring 1, queued 1.
+  EXPECT_EQ(r.per_disk[0].served, 1u);
+  EXPECT_EQ(r.per_disk[0].in_service, 1u);
+  EXPECT_EQ(r.per_disk[0].queued, 0u);
+  EXPECT_EQ(r.per_disk[1].served, 0u);
+  EXPECT_EQ(r.per_disk[1].in_service, 1u);
+  EXPECT_EQ(r.per_disk[1].queued, 1u);
+  // All requests still run to completion and record response times.
+  EXPECT_EQ(r.response.count(), 4u);
+}
+
 } // namespace
 } // namespace spindown::sys

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/math.h"
@@ -114,6 +115,62 @@ TEST(CatalogCorrelationModes, IndependentIsAPermutationOfInverse) {
     if (inv[i].size != ind[i].size) any_differs = true;
   }
   EXPECT_TRUE(any_differs);
+}
+
+TEST(LayoutExtents, PacksPerDiskInFileIdOrder) {
+  std::vector<FileInfo> files{
+      {0, util::mb(1.0), 0.25},  // 1954 blocks
+      {1, util::mb(2.0), 0.25},  // 3907 blocks
+      {2, util::mb(0.5), 0.25},  // 977 blocks
+      {3, 100, 0.25},            // 1 block
+  };
+  const FileCatalog cat{files};
+  const auto ext = layout_extents(cat, {0, 1, 0, 1}, 2);
+  ASSERT_EQ(ext.size(), 4u);
+  // Disk 0 holds files 0 and 2, contiguously from LBA 0.
+  EXPECT_EQ(ext[0].lba, 0u);
+  EXPECT_EQ(ext[0].blocks, util::blocks_of(util::mb(1.0)));
+  EXPECT_EQ(ext[2].lba, ext[0].blocks);
+  EXPECT_EQ(ext[2].blocks, util::blocks_of(util::mb(0.5)));
+  // Disk 1 holds files 1 and 3, in its own address space.
+  EXPECT_EQ(ext[1].lba, 0u);
+  EXPECT_EQ(ext[3].lba, ext[1].blocks);
+  EXPECT_EQ(ext[3].blocks, 1u);
+}
+
+TEST(LayoutExtents, ExtentsNeverOverlapWithinADisk) {
+  SyntheticSpec spec;
+  spec.n_files = 300;
+  util::Rng rng{9};
+  const auto cat = generate_catalog(spec, rng);
+  std::vector<std::uint32_t> mapping(cat.size());
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    mapping[i] = static_cast<std::uint32_t>(i % 7);
+  }
+  const auto ext = layout_extents(cat, mapping, 7);
+  // Per disk: sort extents by lba and verify back-to-back packing.
+  for (std::uint32_t d = 0; d < 7; ++d) {
+    std::vector<FileExtent> on_disk;
+    for (std::size_t i = 0; i < cat.size(); ++i) {
+      if (mapping[i] == d) on_disk.push_back(ext[i]);
+    }
+    std::sort(on_disk.begin(), on_disk.end(),
+              [](const FileExtent& a, const FileExtent& b) {
+                return a.lba < b.lba;
+              });
+    std::uint64_t cursor = 0;
+    for (const auto& e : on_disk) {
+      EXPECT_EQ(e.lba, cursor); // contiguous: no holes, no overlap
+      cursor += e.blocks;
+    }
+  }
+}
+
+TEST(LayoutExtents, ValidatesMapping) {
+  const auto files = std::vector<FileInfo>{{0, util::mb(1.0), 1.0}};
+  const FileCatalog cat{files};
+  EXPECT_THROW(layout_extents(cat, {}, 1), std::invalid_argument);
+  EXPECT_THROW(layout_extents(cat, {5}, 1), std::invalid_argument);
 }
 
 TEST(CatalogGeneration, EmptySpecYieldsEmptyCatalog) {

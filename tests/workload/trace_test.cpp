@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "util/units.h"
 
@@ -67,6 +68,27 @@ TEST_F(TraceIo, SaveLoadRoundTrip) {
 
 TEST_F(TraceIo, LoadMissingFileThrows) {
   EXPECT_THROW(Trace::load(stem_), std::runtime_error);
+}
+
+TEST_F(TraceIo, LbaColumnRoundTrips) {
+  std::vector<TraceRecord> records{{1.0, 0}, {2.0, 1}, {3.0, 2}};
+  records[1].lba = 123'456'789;
+  const Trace original{small_catalog(), std::move(records)};
+  original.save(stem_);
+  const Trace loaded = Trace::load(stem_);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.records()[0].lba, kNoLba); // empty cell stays "no lba"
+  EXPECT_EQ(loaded.records()[1].lba, 123'456'789u);
+  EXPECT_EQ(loaded.records()[2].lba, kNoLba);
+}
+
+TEST_F(TraceIo, TracesWithoutLbaKeepTheLegacyTwoColumnFormat) {
+  const Trace original{small_catalog(), {{1.0, 0}, {2.0, 1}}};
+  original.save(stem_);
+  std::ifstream in{stem_.string() + ".trace.csv"};
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "time_s,file_id");
 }
 
 TEST(TraceAnalyze, BasicStatistics) {
