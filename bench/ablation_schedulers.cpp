@@ -9,8 +9,8 @@
 // faster (less waiting), lengthens idle gaps (more spin-down opportunity),
 // and trims seek-power energy — the grid quantifies all three at once.
 //
-//   $ ./ablation_schedulers [--quick] [--csv grid.csv] [--seed 1]
-//     [--threads n] [--rate R]
+//   $ ./ablation_schedulers [--quick] [--csv grid.csv] [--json grid.json]
+//     [--seed 1] [--threads n] [--rate R]
 //
 // Queue-building setup: files are capped at 16 MB so transfers (<= 222 ms)
 // are comparable to the FCFS positioning cost (12.66 ms) — the regime where
@@ -44,8 +44,8 @@ int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
   if (cli.has("help")) {
     std::cout << "usage: " << cli.program()
-              << " [--quick] [--csv <path>] [--seed <n>] [--threads <n>]"
-                 " [--rate <R>]\n"
+              << " [--quick] [--csv <path>] [--json <path>] [--seed <n>]"
+                 " [--threads <n>] [--rate <R>]\n"
                  "scheduler x spin-down-policy ablation grid\n";
     return 0;
   }
@@ -129,6 +129,15 @@ int main(int argc, char** argv) {
                     "energy_j", "saving_vs_always_on", "positionings",
                     "spin_downs", "requests"});
   }
+  std::unique_ptr<bench::JsonWriter> json;
+  if (cli.has("json")) {
+    json = std::make_unique<bench::JsonWriter>(
+        std::filesystem::path{cli.get("json", "ablation_schedulers.json")},
+        "ablation_schedulers", quick, seed);
+    json->meta("rate", rate);
+    json->meta("horizon_s", horizon);
+    json->meta("farm_disks", static_cast<std::uint64_t>(farm));
+  }
 
   std::size_t i = 0;
   for (const auto& [sname, sspec] : schedulers) {
@@ -145,6 +154,17 @@ int main(int argc, char** argv) {
         csv->row(sname, pname, r.response.mean(), r.response.p99(),
                  r.power.energy, r.power.saving_vs_always_on, positionings,
                  r.power.spin_downs, r.requests);
+      }
+      if (json != nullptr) {
+        json->row({{"scheduler", sname},
+                   {"policy", pspec.spec()},
+                   {"mean_resp_s", r.response.mean()},
+                   {"p99_resp_s", r.response.p99()},
+                   {"energy_j", r.power.energy},
+                   {"saving_vs_always_on", r.power.saving_vs_always_on},
+                   {"positionings", positionings},
+                   {"spin_downs", r.power.spin_downs},
+                   {"requests", r.requests}});
       }
     }
   }

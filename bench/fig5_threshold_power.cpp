@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
                             "RND+LRU", "Pack_Disk4+LRU"}};
   auto csv = opts.csv();
   if (csv) csv->write_row({"threshold_h", "config", "power_saving"});
+  auto json = opts.json("fig5_threshold_power", !opts.full);
 
   const std::size_t n_cfg = std::size(bench::kAllNerscConfigs);
   for (std::size_t ti = 0; ti < thresholds_h.size(); ++ti) {
@@ -58,6 +59,13 @@ int main(int argc, char** argv) {
         csv->row(thresholds_h[ti],
                  bench::to_string(bench::kAllNerscConfigs[ci]),
                  r.power.saving_vs_always_on);
+      }
+      if (json) {
+        json->row({{"threshold_h", thresholds_h[ti]},
+                   {"config", bench::to_string(bench::kAllNerscConfigs[ci])},
+                   {"power_saving", r.power.saving_vs_always_on},
+                   {"energy_j", r.power.energy},
+                   {"mean_resp_s", r.response.mean()}});
       }
     }
     table.add_row(row);

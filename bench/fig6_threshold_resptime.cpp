@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
                             "RND+LRU", "Pack_Disk4+LRU"}};
   auto csv = opts.csv();
   if (csv) csv->write_row({"threshold_h", "config", "mean_resp_s"});
+  auto json = opts.json("fig6_threshold_resptime", !opts.full);
 
   const std::size_t n_cfg = std::size(bench::kAllNerscConfigs);
   for (std::size_t ti = 0; ti < thresholds_h.size(); ++ti) {
@@ -56,6 +57,13 @@ int main(int argc, char** argv) {
         csv->row(thresholds_h[ti],
                  bench::to_string(bench::kAllNerscConfigs[ci]),
                  r.response.mean());
+      }
+      if (json) {
+        json->row({{"threshold_h", thresholds_h[ti]},
+                   {"config", bench::to_string(bench::kAllNerscConfigs[ci])},
+                   {"mean_resp_s", r.response.mean()},
+                   {"p95_resp_s", r.response.p95()},
+                   {"p99_resp_s", r.response.p99()}});
       }
     }
     table.add_row(row);

@@ -8,8 +8,15 @@
 // offline optimum (computed from the realized gaps).
 //
 //   $ ./policy_explorer --gaps 2000 --dist exp --mean-gap 60 [--seed 1]
-//     [--scheduler fcfs|sstf|scan|clook|batch]
+//     [--scheduler fcfs|sstf|scan|clook|batch] [--policy <spec>]
 //   distributions: exp | uniform | bimodal (short bursts + long lulls)
+//
+// The online policies of src/adapt/ run in the same harness — they see the
+// gap sequence once, learning from the observe_idle/observe_completion taps
+// as they go, and pick their own point on the energy/response frontier
+// (the ewma predictor spends energy headroom on response, the share
+// combiner hugs the best fixed threshold).  --policy adds one extra row
+// from a PolicySpec key ("fixed:30", "ewma:0.4", "share:20", "slack:10").
 //
 // --scheduler selects the disk's service discipline (sys::SchedulerSpec);
 // with the default single-outstanding-request gap pattern the order cannot
@@ -105,7 +112,8 @@ int main(int argc, char** argv) {
     std::cout << "usage: " << cli.program()
               << " [--gaps 2000] [--dist exp|uniform|bimodal]"
                  " [--mean-gap 60] [--seed 1]"
-                 " [--scheduler fcfs|sstf|scan|clook|batch]\n";
+                 " [--scheduler fcfs|sstf|scan|clook|batch]"
+                 " [--policy <spec>]\n";
     return 0;
   }
   const auto n_gaps = static_cast<std::size_t>(cli.get_int("gaps", 2000));
@@ -130,7 +138,7 @@ int main(int argc, char** argv) {
     std::string name;
     std::function<std::unique_ptr<disk::SpinDownPolicy>()> make;
   };
-  const std::vector<Entry> policies{
+  std::vector<Entry> policies{
       {"never spin down", [&] { return disk::make_never_policy(); }},
       {"immediate", [&] { return disk::make_fixed_policy(0.0); }},
       {"fixed mean/2",
@@ -139,7 +147,16 @@ int main(int argc, char** argv) {
        [&] { return disk::make_break_even_policy(params); }},
       {"randomized (e/(e-1))",
        [&] { return disk::make_randomized_policy(params); }},
+      {"ewma predictor (online)",
+       [&] { return sys::PolicySpec::ewma().make(params); }},
+      {"share combiner (online)",
+       [&] { return sys::PolicySpec::share().make(params); }},
   };
+  if (cli.has("policy")) {
+    const auto spec = sys::PolicySpec::parse(cli.get("policy", "break-even"));
+    policies.push_back(
+        {"--policy " + spec.spec(), [&, spec] { return spec.make(params); }});
+  }
 
   util::TablePrinter table{{"policy", "gap energy (kJ)", "vs offline opt",
                             "spin-downs", "mean resp (s)"}};

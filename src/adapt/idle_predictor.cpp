@@ -1,0 +1,65 @@
+#include "adapt/idle_predictor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace spindown::adapt {
+
+EwmaIdlePredictorPolicy::EwmaIdlePredictorPolicy(const disk::DiskParams& params,
+                                                 EwmaPredictorConfig config)
+    : break_even_(params.break_even_threshold()), config_(config) {
+  if (config_.alpha <= 0.0 || config_.alpha > 1.0) {
+    throw std::invalid_argument{"EwmaIdlePredictorPolicy: alpha in (0, 1]"};
+  }
+  if (config_.deviation_margin < 0.0) {
+    throw std::invalid_argument{"EwmaIdlePredictorPolicy: negative margin"};
+  }
+  if (config_.guard_factor < 1.0) {
+    throw std::invalid_argument{
+        "EwmaIdlePredictorPolicy: guard_factor must be >= 1"};
+  }
+  if (config_.park_fraction < 0.0 || config_.park_fraction > 1.0) {
+    throw std::invalid_argument{
+        "EwmaIdlePredictorPolicy: park_fraction in [0, 1]"};
+  }
+}
+
+std::optional<double> EwmaIdlePredictorPolicy::idle_timeout(util::Rng&) {
+  if (observed_ < config_.warmup) return break_even_;
+  if (ewma_ - config_.deviation_margin * dev_ > break_even_) {
+    return config_.park_fraction * break_even_; // confident long: park early
+  }
+  return config_.guard_factor * break_even_; // short or uncertain: dodge the
+                                             // dead zone, bounded loss
+}
+
+void EwmaIdlePredictorPolicy::observe_idle(double duration, bool) {
+  if (duration < 0.0) return;
+  if (observed_ == 0) {
+    // RFC 6298-style initialisation: first sample seeds the mean, half of
+    // it the deviation.
+    ewma_ = duration;
+    dev_ = duration / 2.0;
+  } else {
+    // Asymmetric gain: a surprise-short period (the kind that turns an
+    // aggressive park into a stall) adapts twice as fast as a long one.
+    const double gain = duration < ewma_ ? std::min(1.0, 2.0 * config_.alpha)
+                                         : config_.alpha;
+    dev_ += gain * (std::abs(duration - ewma_) - dev_);
+    ewma_ += gain * (duration - ewma_);
+  }
+  ++observed_;
+}
+
+std::string EwmaIdlePredictorPolicy::name() const {
+  return "ewma(a=" + util::format_double(config_.alpha, 3) + ")";
+}
+
+std::unique_ptr<disk::SpinDownPolicy> make_ewma_policy(
+    const disk::DiskParams& params, EwmaPredictorConfig config) {
+  return std::make_unique<EwmaIdlePredictorPolicy>(params, config);
+}
+
+} // namespace spindown::adapt

@@ -1,0 +1,79 @@
+// share.h — fixed-share multiplicative-weights combiner over a grid of
+// fixed spin-down thresholds.
+//
+// The Karlin et al. framework (surveyed in the paper's §2 and implemented
+// as RandomizedCompetitivePolicy in disk/spin_policy.h) treats each fixed
+// threshold as an expert.  The key observation — from Helmbold et al.,
+// "Adaptive disk spin-down for mobile computers" — is that an idle period
+// of duration d scores *every* expert counterfactually: the cost a
+// threshold T would have paid on that period is fully determined by
+// (T, d, DiskParams), whether or not T was the threshold actually used.
+// So after each period every expert's weight is updated with its own loss,
+// and the played threshold is the weight-weighted mean of the grid.
+//
+// Losses combine energy and a response-time penalty: if d > T the next
+// arrival meets a parked (or retracting) disk and waits out the remaining
+// spin-down plus the full spin-up; that delay is billed at
+// `delay_penalty_w` joule-equivalents per second, making the energy/latency
+// exchange rate an explicit knob.
+//
+// The "share" (fixed-share) step redistributes a small fraction of every
+// weight uniformly each round, so the combiner can re-converge after a
+// regime change instead of being stuck with collapsed weights — exactly the
+// non-stationary setting the NHPP/MMPP workloads create.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "disk/params.h"
+#include "disk/spin_policy.h"
+
+namespace spindown::adapt {
+
+struct ShareConfig {
+  std::uint32_t experts = 12;    ///< grid size: T=0 plus experts−1 geometric
+  double eta = 4.0;              ///< learning rate on normalised losses
+  double share = 0.05;           ///< fixed-share mixing fraction per round
+  double delay_penalty_w = 25.0; ///< J-equivalent per second of added delay
+  double max_factor = 2.0;       ///< grid spans (0, max_factor·B]
+};
+
+/// Energy-plus-penalty cost a fixed threshold T would have paid on an idle
+/// period of duration d (the counterfactual loss fed to every expert):
+/// idle draw until min(T, d); if d > T also the transition energy, standby
+/// draw for any remainder past the round trip, and the delay penalty for
+/// the remaining retraction plus the spin-up the arrival waits out.
+double counterfactual_idle_cost(const disk::DiskParams& params,
+                                double threshold_s, double duration_s,
+                                double delay_penalty_w);
+
+class ShareThresholdPolicy final : public disk::SpinDownPolicy {
+public:
+  explicit ShareThresholdPolicy(const disk::DiskParams& params,
+                                ShareConfig config = {});
+
+  std::optional<double> idle_timeout(util::Rng& rng) override;
+  void observe_idle(double duration, bool spun_down) override;
+  std::string name() const override;
+
+  /// The threshold currently played: the weight-weighted mean of the grid.
+  double current_threshold() const;
+  const std::vector<double>& thresholds() const { return thresholds_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+private:
+  disk::DiskParams params_;
+  ShareConfig config_;
+  std::vector<double> thresholds_;
+  std::vector<double> weights_; ///< kept normalised to sum 1
+  std::vector<double> losses_;  ///< per-round scratch (no steady-state allocs)
+};
+
+std::unique_ptr<disk::SpinDownPolicy> make_share_policy(
+    const disk::DiskParams& params, ShareConfig config = {});
+
+} // namespace spindown::adapt

@@ -1,0 +1,76 @@
+#include "adapt/slack.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace spindown::adapt {
+
+SlackAwarePolicy::SlackAwarePolicy(const disk::DiskParams& params,
+                                   SlackConfig config)
+    : config_(config), break_even_(params.break_even_threshold()),
+      threshold_(config.floor_factor * break_even_) {
+  if (config_.target_response_s <= 0.0) {
+    throw std::invalid_argument{"SlackAwarePolicy: SLO must be > 0"};
+  }
+  if (config_.percentile <= 0.0 || config_.percentile >= 100.0) {
+    throw std::invalid_argument{"SlackAwarePolicy: percentile in (0, 100)"};
+  }
+  if (config_.quantile_gain <= 0.0 || config_.quantile_gain >= 1.0) {
+    throw std::invalid_argument{"SlackAwarePolicy: quantile_gain in (0, 1)"};
+  }
+  if (config_.widen <= 1.0 || config_.narrow <= 0.0 || config_.narrow > 1.0) {
+    throw std::invalid_argument{
+        "SlackAwarePolicy: need widen > 1 and narrow in (0, 1]"};
+  }
+  if (config_.floor_factor <= 0.0 ||
+      config_.max_factor < config_.floor_factor) {
+    throw std::invalid_argument{
+        "SlackAwarePolicy: need 0 < floor_factor <= max_factor"};
+  }
+}
+
+std::optional<double> SlackAwarePolicy::idle_timeout(util::Rng&) {
+  return threshold_;
+}
+
+void SlackAwarePolicy::observe_completion(double response_time_s) {
+  if (response_time_s < 0.0) return;
+  ++completions_;
+  if (completions_ == 1) {
+    quantile_ = response_time_s;
+  } else {
+    // Stochastic-approximation quantile tracking: in equilibrium the
+    // up-steps (taken with probability 1−p) balance the down-steps (taken
+    // with probability p), which happens exactly at the p-quantile.
+    const double p = config_.percentile / 100.0;
+    const double step =
+        config_.quantile_gain * std::max(quantile_, response_time_s * 0.1);
+    if (response_time_s > quantile_) {
+      quantile_ += step * p;
+    } else {
+      quantile_ -= step * (1.0 - p);
+    }
+    quantile_ = std::max(0.0, quantile_);
+  }
+  const double lo = config_.floor_factor * break_even_;
+  const double hi = config_.max_factor * break_even_;
+  if (quantile_ > config_.target_response_s) {
+    threshold_ = std::min(hi, threshold_ * config_.widen);
+  } else {
+    threshold_ = std::max(lo, threshold_ * config_.narrow);
+  }
+}
+
+std::string SlackAwarePolicy::name() const {
+  return "slack(p" + util::format_double(config_.percentile, 1) + "<" +
+         util::format_seconds(config_.target_response_s) + ")";
+}
+
+std::unique_ptr<disk::SpinDownPolicy> make_slack_policy(
+    const disk::DiskParams& params, SlackConfig config) {
+  return std::make_unique<SlackAwarePolicy>(params, config);
+}
+
+} // namespace spindown::adapt

@@ -42,6 +42,16 @@ void Disk::submit(std::uint64_t request_id, util::Bytes bytes,
   job.blocks = blocks != 0 ? blocks : util::blocks_of(bytes);
   job.seq = submit_seq_++;
   scheduler_->push(job);
+  if (idle_period_open_) {
+    // First arrival since the disk went idle: the idle period ends now,
+    // whatever power state the policy steered it through.  Score it before
+    // any state change so an adaptive policy sees period k before deciding
+    // period k+1.
+    const double duration = sim_.now() - idle_since_;
+    idle_periods_.add(duration);
+    policy_->observe_idle(duration, idle_spun_down_);
+    idle_period_open_ = false;
+  }
   switch (state_) {
     case PowerState::kIdle:
       // The idle gap ends now; record it for offline-optimal analysis.
@@ -100,6 +110,7 @@ void Disk::finish_transfer() {
   ++served_;
   bytes_served_ += job.bytes;
   head_lba_ = job.lba + job.blocks;
+  policy_->observe_completion(sim_.now() - job.arrival);
   if (on_complete_) {
     Completion c;
     c.request_id = job.request_id;
@@ -125,6 +136,8 @@ void Disk::finish_transfer() {
 void Disk::go_idle() {
   enter(PowerState::kIdle);
   idle_since_ = sim_.now();
+  idle_period_open_ = true;
+  idle_spun_down_ = false;
   arm_idle_timer();
 }
 
@@ -151,6 +164,7 @@ void Disk::disarm_idle_timer() {
 
 void Disk::begin_spin_down() {
   assert(state_ == PowerState::kIdle);
+  idle_spun_down_ = true;
   ++spin_downs_;
   enter(PowerState::kSpinningDown);
   sim_.schedule_in(params_.spindown_s, [this] { finish_spin_down(); });
@@ -193,6 +207,7 @@ DiskMetrics Disk::metrics(double now) const {
   m.queued = scheduler_->size();
   m.in_service = batch_.size() - batch_pos_;
   m.positionings = positionings_;
+  m.idle_periods = idle_periods_;
   return m;
 }
 

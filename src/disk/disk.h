@@ -35,6 +35,7 @@
 #include "disk/params.h"
 #include "disk/power.h"
 #include "disk/spin_policy.h"
+#include "stats/histogram.h"
 #include "stats/time_weighted.h"
 #include "util/inline_function.h"
 #include "util/rng.h"
@@ -69,6 +70,15 @@ struct DiskMetrics {
                                   ///< transferring) at snapshot
   std::uint64_t positionings = 0; ///< positioning phases billed (a coalesced
                                   ///< batch counts one for several requests)
+  /// Completed idle-period durations (full time from going idle to the next
+  /// arrival, through any spin-down/standby residency), log-binned from 1 ms
+  /// to ~28 h.  Exposes the idle structure the spin-down economics turn on —
+  /// and the signal the adaptive policies (src/adapt/) learn from.
+  stats::LogHistogram idle_periods{kIdleHistLo, kIdleHistHi, kIdleHistBins};
+
+  static constexpr double kIdleHistLo = 1e-3;
+  static constexpr double kIdleHistHi = 1e5;
+  static constexpr std::size_t kIdleHistBins = 80;
 
   double time_in(PowerState s) const {
     return state_time[static_cast<std::size_t>(s)];
@@ -157,6 +167,12 @@ private:
   std::uint64_t submit_seq_ = 0;
   des::EventHandle idle_timer_;
   double idle_since_ = 0.0;
+  /// True from go_idle() (or construction) until the arrival that ends the
+  /// period; an arrival mid-spin-down/standby closes the same period, so
+  /// the flag distinguishes "first arrival after idling" from "arrival
+  /// during a spin-up another request already triggered".
+  bool idle_period_open_ = true;
+  bool idle_spun_down_ = false;
   double service_start_ = 0.0;
 
   CompletionCallback on_complete_;
@@ -166,6 +182,9 @@ private:
   std::uint64_t positionings_ = 0;
   util::Bytes bytes_served_ = 0;
   std::vector<double> idle_gaps_;
+  stats::LogHistogram idle_periods_{DiskMetrics::kIdleHistLo,
+                                    DiskMetrics::kIdleHistHi,
+                                    DiskMetrics::kIdleHistBins};
 };
 
 } // namespace spindown::disk

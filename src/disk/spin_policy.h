@@ -18,6 +18,11 @@
 //
 // A policy is consulted once per idle-period start and returns the timeout
 // after which the disk should begin spinning down, or nullopt for "never".
+// The disk also feeds every policy two observation taps — completed
+// idle-period durations and per-request response times — which the static
+// policies here ignore; the *online* policies built on them (EWMA idle
+// prediction, the multiplicative-weights "share" expert combiner, the
+// slack-aware SLO controller) live in src/adapt/.
 #pragma once
 
 #include <memory>
@@ -36,6 +41,25 @@ public:
 
   /// Timeout for the idle period that starts now; nullopt = stay idle.
   virtual std::optional<double> idle_timeout(util::Rng& rng) = 0;
+
+  /// Feedback: an idle period just ended (a request arrived).  `duration` is
+  /// the full time from going idle to that arrival — through any spin-down
+  /// and standby residency — and `spun_down` says whether the policy's
+  /// timeout fired during the period.  Stateless policies ignore this; the
+  /// online policies in src/adapt/ learn from it.  The Disk calls this
+  /// before asking for the next timeout, so a policy always scores period k
+  /// before deciding period k+1.
+  virtual void observe_idle(double duration, bool spun_down) {
+    (void)duration;
+    (void)spun_down;
+  }
+
+  /// Feedback: a request on this disk completed with the given response
+  /// time (completion minus submission).  The slack-aware policy spends the
+  /// gap between this signal and its SLO on deeper power saving.
+  virtual void observe_completion(double response_time_s) {
+    (void)response_time_s;
+  }
 
   /// Human-readable name for reports.
   virtual std::string name() const = 0;

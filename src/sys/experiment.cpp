@@ -7,6 +7,40 @@
 #include "cache/lru.h"
 
 namespace spindown::sys {
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  for (;;) {
+    const auto next = s.find(sep, pos);
+    out.push_back(s.substr(pos, next - pos));
+    if (next == std::string::npos) return out;
+    pos = next + 1;
+  }
+}
+
+double parse_number(const std::string& s, const std::string& context) {
+  const auto v = util::parse_finite_double(s);
+  if (!v.has_value()) {
+    throw std::invalid_argument{"WorkloadSpec: bad number '" + s + "' in " +
+                                context};
+  }
+  return *v;
+}
+
+/// The "name(a,b,...)" shell shared by every synthetic workload key.
+std::vector<std::string> parse_call(const std::string& name,
+                                    const std::string& head) {
+  if (name.size() < head.size() + 2 || name.compare(0, head.size(), head) != 0 ||
+      name[head.size()] != '(' || name.back() != ')') {
+    throw std::invalid_argument{"WorkloadSpec: malformed '" + name + "'"};
+  }
+  return split(name.substr(head.size() + 1, name.size() - head.size() - 2),
+               ',');
+}
+
+} // namespace
 
 std::unique_ptr<cache::FileCache> CacheSpec::make() const {
   switch (kind) {
@@ -16,6 +50,127 @@ std::unique_ptr<cache::FileCache> CacheSpec::make() const {
     case Kind::kLfu: return std::make_unique<cache::LfuCache>(capacity);
   }
   throw std::logic_error{"CacheSpec: unknown kind"};
+}
+
+std::unique_ptr<workload::RequestStream> WorkloadSpec::make_stream(
+    const workload::FileCatalog& catalog, std::uint64_t seed) const {
+  switch (kind) {
+    case Kind::kPoisson:
+      return std::make_unique<workload::ArrivalZipfStream>(
+          catalog, std::make_unique<workload::PoissonArrivals>(rate),
+          horizon_s, util::Rng{seed});
+    case Kind::kNhpp:
+      return std::make_unique<workload::ArrivalZipfStream>(
+          catalog,
+          std::make_unique<workload::PiecewiseRateArrivals>(segments,
+                                                            period_s),
+          horizon_s, util::Rng{seed});
+    case Kind::kMmpp:
+      return std::make_unique<workload::ArrivalZipfStream>(
+          catalog, std::make_unique<workload::MmppArrivals>(mmpp_params),
+          horizon_s, util::Rng{seed});
+    case Kind::kTrace:
+      if (trace == nullptr) {
+        throw std::invalid_argument{"WorkloadSpec: trace is required"};
+      }
+      return std::make_unique<workload::TraceStream>(*trace);
+  }
+  throw std::logic_error{"WorkloadSpec: unknown kind"};
+}
+
+double WorkloadSpec::measurement_horizon() const {
+  if (kind == Kind::kTrace) {
+    if (trace == nullptr) {
+      throw std::invalid_argument{"WorkloadSpec: trace is required"};
+    }
+    // +1 s so the request landing exactly at the trace end is inside the
+    // measurement window.
+    return trace->duration() + 1.0;
+  }
+  return horizon_s;
+}
+
+std::string WorkloadSpec::spec() const {
+  switch (kind) {
+    case Kind::kPoisson:
+      return "poisson(" + util::format_roundtrip(rate) + "," +
+             util::format_roundtrip(horizon_s) + ")";
+    case Kind::kNhpp: {
+      std::string segs;
+      for (std::size_t i = 0; i < segments.size(); ++i) {
+        if (i > 0) segs += ";";
+        segs += util::format_roundtrip(segments[i].start) + ":" +
+                util::format_roundtrip(segments[i].rate);
+      }
+      std::string out = "nhpp(";
+      out += segs;
+      out += ",";
+      out += util::format_roundtrip(horizon_s);
+      if (period_s > 0.0) {
+        out += ",";
+        out += util::format_roundtrip(period_s);
+      }
+      out += ")";
+      return out;
+    }
+    case Kind::kMmpp:
+      return "mmpp(" + util::format_roundtrip(mmpp_params.rate[0]) + "," +
+             util::format_roundtrip(mmpp_params.rate[1]) + "," +
+             util::format_roundtrip(mmpp_params.mean_dwell[0]) + "," +
+             util::format_roundtrip(mmpp_params.mean_dwell[1]) + "," +
+             util::format_roundtrip(horizon_s) + ")";
+    case Kind::kTrace: return "trace";
+  }
+  throw std::logic_error{"WorkloadSpec: unknown kind"};
+}
+
+WorkloadSpec WorkloadSpec::parse(const std::string& name) {
+  if (name.rfind("poisson", 0) == 0) {
+    const auto args = parse_call(name, "poisson");
+    if (args.size() != 2) {
+      throw std::invalid_argument{
+          "WorkloadSpec: want poisson(rate,horizon), got '" + name + "'"};
+    }
+    return poisson(parse_number(args[0], name), parse_number(args[1], name));
+  }
+  if (name.rfind("nhpp", 0) == 0) {
+    const auto args = parse_call(name, "nhpp");
+    if (args.size() != 2 && args.size() != 3) {
+      throw std::invalid_argument{
+          "WorkloadSpec: want nhpp(t:r;...,horizon[,period]), got '" + name +
+          "'"};
+    }
+    std::vector<workload::RateSegment> segments;
+    for (const auto& seg : split(args[0], ';')) {
+      const auto parts = split(seg, ':');
+      if (parts.size() != 2) {
+        throw std::invalid_argument{"WorkloadSpec: bad segment '" + seg +
+                                    "' in '" + name + "'"};
+      }
+      segments.push_back({parse_number(parts[0], name),
+                          parse_number(parts[1], name)});
+    }
+    const double horizon = parse_number(args[1], name);
+    const double period =
+        args.size() == 3 ? parse_number(args[2], name) : 0.0;
+    return nhpp(std::move(segments), horizon, period);
+  }
+  if (name.rfind("mmpp", 0) == 0) {
+    const auto args = parse_call(name, "mmpp");
+    if (args.size() != 5) {
+      throw std::invalid_argument{
+          "WorkloadSpec: want mmpp(r0,r1,d0,d1,horizon), got '" + name + "'"};
+    }
+    workload::MmppParams p;
+    p.rate[0] = parse_number(args[0], name);
+    p.rate[1] = parse_number(args[1], name);
+    p.mean_dwell[0] = parse_number(args[2], name);
+    p.mean_dwell[1] = parse_number(args[3], name);
+    return mmpp(p, parse_number(args[4], name));
+  }
+  throw std::invalid_argument{
+      "WorkloadSpec: unknown workload '" + name +
+      "' (want poisson(R,T)|nhpp(t:r;...,T[,P])|mmpp(r0,r1,d0,d1,T))"};
 }
 
 RunResult run_experiment(const ExperimentConfig& config) {
@@ -32,25 +187,8 @@ RunResult run_experiment(const ExperimentConfig& config) {
     system.set_policy_override(disk, policy);
   }
 
-  switch (config.workload.kind) {
-    case WorkloadSpec::Kind::kPoisson: {
-      workload::PoissonZipfStream stream{*config.catalog,
-                                         config.workload.rate,
-                                         config.workload.horizon_s,
-                                         util::Rng{config.seed}};
-      return system.run(stream, config.workload.horizon_s);
-    }
-    case WorkloadSpec::Kind::kTrace: {
-      if (config.workload.trace == nullptr) {
-        throw std::invalid_argument{"ExperimentConfig: trace is required"};
-      }
-      workload::TraceStream stream{*config.workload.trace};
-      // +1 s so the request landing exactly at the trace end is inside the
-      // measurement window.
-      return system.run(stream, config.workload.trace->duration() + 1.0);
-    }
-  }
-  throw std::logic_error{"ExperimentConfig: unknown workload kind"};
+  const auto stream = config.workload.make_stream(*config.catalog, config.seed);
+  return system.run(*stream, config.workload.measurement_horizon());
 }
 
 } // namespace spindown::sys

@@ -11,17 +11,29 @@
 #include <vector>
 
 #include "sys/system.h"
+#include "workload/arrival.h"
+#include "workload/stream.h"
 #include "workload/trace.h"
 
 namespace spindown::sys {
 
-/// What drives the arrivals.
+/// What drives the arrivals.  Synthetic kinds pair an ArrivalProcess
+/// (workload/arrival.h) with Zipf file choice over [0, horizon); kTrace
+/// replays a trace verbatim.  The non-stationary kinds (kNhpp diurnal
+/// cycles, kMmpp bursts) exist to stress the adaptive spin-down policies:
+/// under them the best threshold moves hour to hour, which a static sweep
+/// cannot follow.
 struct WorkloadSpec {
-  enum class Kind { kPoisson, kTrace };
+  enum class Kind { kPoisson, kTrace, kNhpp, kMmpp };
   Kind kind = Kind::kPoisson;
   // Poisson (Table 1): rate R over [0, horizon).
   double rate = 6.0;
   double horizon_s = 4000.0;
+  // kNhpp: piecewise-constant rate segments; period_s > 0 wraps them.
+  std::vector<workload::RateSegment> segments;
+  double period_s = 0.0;
+  // kMmpp: 2-state burst model.
+  workload::MmppParams mmpp_params;
   // Trace replay (§5.1): not owned.
   const workload::Trace* trace = nullptr;
 
@@ -38,6 +50,44 @@ struct WorkloadSpec {
     w.trace = &trace;
     return w;
   }
+  static WorkloadSpec nhpp(std::vector<workload::RateSegment> segments,
+                           double horizon_s, double period_s = 0.0) {
+    WorkloadSpec w;
+    w.kind = Kind::kNhpp;
+    w.segments = std::move(segments);
+    w.horizon_s = horizon_s;
+    w.period_s = period_s;
+    return w;
+  }
+  static WorkloadSpec mmpp(workload::MmppParams params, double horizon_s) {
+    WorkloadSpec w;
+    w.kind = Kind::kMmpp;
+    w.mmpp_params = params;
+    w.horizon_s = horizon_s;
+    return w;
+  }
+
+  /// Build the request stream this spec describes.  `seed` drives the
+  /// synthetic generators (kPoisson consumes the Rng draw-for-draw like the
+  /// seed simulator, so the default path stays bit-exact).
+  std::unique_ptr<workload::RequestStream> make_stream(
+      const workload::FileCatalog& catalog, std::uint64_t seed) const;
+
+  /// The energy-measurement window this spec implies: `horizon_s` for the
+  /// synthetic kinds, trace duration + 1 s for replays (so the request at
+  /// the trace end lands inside the window).
+  double measurement_horizon() const;
+
+  /// Parse a CLI/report key; accepts everything spec() emits except
+  /// "trace" (a trace object cannot be named by a string).  Throws
+  /// std::invalid_argument on anything else.
+  static WorkloadSpec parse(const std::string& name);
+  /// Canonical parseable key — "poisson(6,4000)",
+  /// "nhpp(0:8;1200:0.05,8000,2000)" (segments start:rate, horizon,
+  /// optional period), "mmpp(8,0.5,120,480,8000)" (rate0, rate1, dwell0,
+  /// dwell1, horizon) — such that parse(spec()) round-trips.  Trace specs
+  /// render as "trace".
+  std::string spec() const;
 };
 
 /// Front-cache selection (§5.1 uses a 16 GB LRU).

@@ -1,7 +1,12 @@
 #include "sys/system.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "adapt/idle_predictor.h"
+#include "adapt/share.h"
+#include "adapt/slack.h"
 
 namespace spindown::sys {
 
@@ -47,12 +52,83 @@ std::unique_ptr<disk::SpinDownPolicy> PolicySpec::make(
     case Kind::kFixed: return disk::make_fixed_policy(fixed_threshold_s);
     case Kind::kNever: return disk::make_never_policy();
     case Kind::kRandomized: return disk::make_randomized_policy(p);
+    case Kind::kEwma: {
+      adapt::EwmaPredictorConfig cfg;
+      cfg.alpha = ewma_alpha;
+      return adapt::make_ewma_policy(p, cfg);
+    }
+    case Kind::kShare: {
+      adapt::ShareConfig cfg;
+      cfg.experts = share_experts;
+      return adapt::make_share_policy(p, cfg);
+    }
+    case Kind::kSlack: {
+      adapt::SlackConfig cfg;
+      cfg.target_response_s = slack_target_s;
+      return adapt::make_slack_policy(p, cfg);
+    }
   }
   throw std::logic_error{"PolicySpec: unknown kind"};
 }
 
 std::string PolicySpec::name(const disk::DiskParams& p) const {
   return make(p)->name();
+}
+
+std::string PolicySpec::spec() const {
+  switch (kind) {
+    case Kind::kBreakEven: return "break-even";
+    case Kind::kNever: return "never";
+    case Kind::kRandomized: return "randomized";
+    case Kind::kFixed:
+      return "fixed:" + util::format_roundtrip(fixed_threshold_s);
+    case Kind::kEwma: return "ewma:" + util::format_roundtrip(ewma_alpha);
+    case Kind::kShare: return "share:" + std::to_string(share_experts);
+    case Kind::kSlack: return "slack:" + util::format_roundtrip(slack_target_s);
+  }
+  throw std::logic_error{"PolicySpec: unknown kind"};
+}
+
+PolicySpec PolicySpec::parse(const std::string& name) {
+  const auto colon = name.find(':');
+  const std::string head = name.substr(0, colon);
+  const bool has_arg = colon != std::string::npos && colon + 1 < name.size();
+  const std::string arg = has_arg ? name.substr(colon + 1) : std::string{};
+  const auto numeric_arg = [&](double fallback) {
+    if (!has_arg) return fallback;
+    const auto v = util::parse_finite_double(arg);
+    if (!v.has_value()) {
+      throw std::invalid_argument{"PolicySpec: bad number '" + arg +
+                                  "' in '" + name + "'"};
+    }
+    return *v;
+  };
+  if (head == "break-even") return break_even();
+  if (head == "never") return never();
+  if (head == "randomized") return randomized();
+  if (head == "fixed") {
+    if (!has_arg) {
+      throw std::invalid_argument{"PolicySpec: fixed needs a threshold "
+                                  "(fixed:<seconds>)"};
+    }
+    return fixed(numeric_arg(0.0));
+  }
+  if (head == "ewma") return ewma(numeric_arg(PolicySpec{}.ewma_alpha));
+  if (head == "share") {
+    const double n = numeric_arg(static_cast<double>(PolicySpec{}.share_experts));
+    // Range-check before the cast: an out-of-range float-to-int conversion
+    // is undefined behavior, not a detectable error.
+    if (n < 2.0 || n > 4096.0 || n != std::floor(n)) {
+      throw std::invalid_argument{"PolicySpec: share expert count must be an "
+                                  "integer in [2, 4096]"};
+    }
+    return share(static_cast<std::uint32_t>(n));
+  }
+  if (head == "slack") return slack(numeric_arg(PolicySpec{}.slack_target_s));
+  throw std::invalid_argument{
+      "PolicySpec: unknown policy '" + name +
+      "' (want break-even|never|randomized|fixed:T|ewma[:a]|share[:n]|"
+      "slack[:slo])"};
 }
 
 util::Joules always_on_energy(const disk::DiskParams& p, std::uint32_t disks,

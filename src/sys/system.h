@@ -50,11 +50,25 @@ struct SchedulerSpec {
   std::string name() const;
 };
 
-/// Spin-down policy selection for a whole farm.
+/// Spin-down policy selection for a whole farm.  The static kinds are the
+/// paper's (plus the competitive-analysis baselines); the adaptive kinds
+/// (src/adapt/) are instantiated per disk, so every spindle learns from its
+/// own idle/response history.
 struct PolicySpec {
-  enum class Kind { kBreakEven, kFixed, kNever, kRandomized };
+  enum class Kind {
+    kBreakEven,
+    kFixed,
+    kNever,
+    kRandomized,
+    kEwma,  ///< EWMA idle-time predictor (adapt/idle_predictor.h)
+    kShare, ///< fixed-share expert combiner (adapt/share.h)
+    kSlack, ///< slack-aware SLO controller (adapt/slack.h)
+  };
   Kind kind = Kind::kBreakEven;
-  double fixed_threshold_s = 0.0; ///< used when kind == kFixed
+  double fixed_threshold_s = 0.0;   ///< kFixed
+  double ewma_alpha = 0.25;         ///< kEwma: EWMA gain
+  std::uint32_t share_experts = 12; ///< kShare: threshold-grid size
+  double slack_target_s = 60.0;     ///< kSlack: p99 response SLO (seconds)
 
   static PolicySpec break_even() { return {}; }
   static PolicySpec fixed(double threshold_s) {
@@ -62,6 +76,33 @@ struct PolicySpec {
   }
   static PolicySpec never() { return PolicySpec{Kind::kNever, 0.0}; }
   static PolicySpec randomized() { return PolicySpec{Kind::kRandomized, 0.0}; }
+  static PolicySpec ewma(double alpha = 0.25) {
+    PolicySpec p;
+    p.kind = Kind::kEwma;
+    p.ewma_alpha = alpha;
+    return p;
+  }
+  static PolicySpec share(std::uint32_t experts = 12) {
+    PolicySpec p;
+    p.kind = Kind::kShare;
+    p.share_experts = experts;
+    return p;
+  }
+  static PolicySpec slack(double target_response_s = 60.0) {
+    PolicySpec p;
+    p.kind = Kind::kSlack;
+    p.slack_target_s = target_response_s;
+    return p;
+  }
+
+  /// Parse a CLI/report key; accepts everything spec() emits plus the bare
+  /// adaptive names ("ewma", "share", "slack") with default knobs.  Throws
+  /// std::invalid_argument on anything else.
+  static PolicySpec parse(const std::string& name);
+  /// Canonical parseable key — "break-even", "never", "randomized",
+  /// "fixed:10", "ewma:0.25", "share:12", "slack:60" — such that
+  /// parse(spec()) round-trips the value.
+  std::string spec() const;
 
   std::unique_ptr<disk::SpinDownPolicy> make(const disk::DiskParams& p) const;
   std::string name(const disk::DiskParams& p) const;

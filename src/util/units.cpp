@@ -3,6 +3,7 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace spindown::util {
 
@@ -15,6 +16,29 @@ std::string format_double(double v, int max_decimals) {
     if (!s.empty() && s.back() == '.') s.pop_back();
   }
   return s;
+}
+
+std::string format_roundtrip(double v) {
+  std::array<char, 40> buf{};
+  // Integers print plainly ("10", not the "1e+01" a short %g would pick).
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf.data(), buf.size(), "%.0f", v);
+    return std::string{buf.data()};
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf.data(), buf.size(), "%.*g", precision, v);
+    if (std::strtod(buf.data(), nullptr) == v) break;
+  }
+  return std::string{buf.data()};
+}
+
+std::optional<double> parse_finite_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
 }
 
 std::string format_bytes(Bytes b) {

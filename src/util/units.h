@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace spindown::util {
@@ -53,5 +54,16 @@ std::string format_seconds(Seconds s);
 
 /// Fixed-precision double without trailing-zero noise ("0.85", "12").
 std::string format_double(double v, int max_decimals = 3);
+
+/// Shortest decimal string that parses back to exactly `v` ("10", "0.25",
+/// "0.3333333333333333").  For the PolicySpec/WorkloadSpec key round-trip:
+/// parse(spec()) must reproduce the value bit for bit.
+std::string format_roundtrip(double v);
+
+/// Strict numeric parse: the whole string must be one finite double;
+/// nullopt on trailing garbage, empty input, "nan"/"inf", or overflow.
+/// The shared backend of every spec-key parser (a NaN threshold or rate
+/// would corrupt the event calendar / hang the arrival loop downstream).
+std::optional<double> parse_finite_double(const std::string& s);
 
 } // namespace spindown::util

@@ -4,18 +4,22 @@
 
 namespace spindown::workload {
 
-PoissonZipfStream::PoissonZipfStream(const FileCatalog& catalog, double rate,
+ArrivalZipfStream::ArrivalZipfStream(const FileCatalog& catalog,
+                                     std::unique_ptr<ArrivalProcess> arrivals,
                                      double horizon, util::Rng rng)
-    : catalog_(catalog), arrivals_(rate), horizon_(horizon), rng_(rng) {
+    : arrivals_(std::move(arrivals)), horizon_(horizon), rng_(rng) {
   if (catalog.empty()) {
-    throw std::invalid_argument{"PoissonZipfStream: empty catalog"};
+    throw std::invalid_argument{"ArrivalZipfStream: empty catalog"};
+  }
+  if (arrivals_ == nullptr) {
+    throw std::invalid_argument{"ArrivalZipfStream: null arrival process"};
   }
   const auto probs = catalog.popularity_vector();
   file_choice_ = util::AliasTable{probs};
 }
 
-std::optional<Request> PoissonZipfStream::next() {
-  const double t = arrivals_.next_arrival(rng_);
+std::optional<Request> ArrivalZipfStream::next() {
+  const double t = arrivals_->next_arrival(rng_);
   if (t >= horizon_) return std::nullopt;
   Request r;
   r.id = next_id_++;
@@ -23,6 +27,10 @@ std::optional<Request> PoissonZipfStream::next() {
   r.file = static_cast<FileId>(file_choice_.sample(rng_));
   return r;
 }
+
+PoissonZipfStream::PoissonZipfStream(const FileCatalog& catalog, double rate,
+                                     double horizon, util::Rng rng)
+    : inner_(catalog, std::make_unique<PoissonArrivals>(rate), horizon, rng) {}
 
 TraceStream::TraceStream(const Trace& trace) : trace_(trace) {}
 

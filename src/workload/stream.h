@@ -1,17 +1,24 @@
 // stream.h — request streams: the simulation's pull interface for arrivals.
 //
-// Two implementations:
-//   * PoissonZipfStream — Table 1's generator: Poisson arrivals at rate R,
-//     each request picking a file by Zipf popularity (O(1) alias sampling).
+// Implementations:
+//   * ArrivalZipfStream — any ArrivalProcess (arrival.h) paired with Zipf
+//     file choice (O(1) alias sampling).  This is the general synthetic
+//     generator: Poisson reproduces Table 1; NHPP/MMPP produce the
+//     non-stationary workloads that stress adaptive spin-down policies.
+//   * PoissonZipfStream — Table 1's generator, a thin wrapper over
+//     ArrivalZipfStream with a PoissonArrivals process (kept for its name
+//     and ubiquity in the benches; draw-for-draw identical to the seed).
 //   * TraceStream — replays a Trace (used for the NERSC experiments, where
 //     "all of the 115,832 requests are regenerated based on the time in the
 //     real life workload data").
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "util/rng.h"
+#include "workload/arrival.h"
 #include "workload/catalog.h"
 #include "workload/distributions.h"
 #include "workload/trace.h"
@@ -36,6 +43,27 @@ public:
   virtual std::optional<Request> next() = 0;
 };
 
+/// General synthetic generator: arrival times from an ArrivalProcess, file
+/// choice by the catalog's popularity vector.
+class ArrivalZipfStream final : public RequestStream {
+public:
+  /// Generates until `horizon` seconds (exclusive).
+  ArrivalZipfStream(const FileCatalog& catalog,
+                    std::unique_ptr<ArrivalProcess> arrivals, double horizon,
+                    util::Rng rng);
+
+  std::optional<Request> next() override;
+
+  const ArrivalProcess& arrivals() const { return *arrivals_; }
+
+private:
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  double horizon_;
+  util::Rng rng_;
+  util::AliasTable file_choice_;
+  std::uint64_t next_id_ = 0;
+};
+
 /// Table 1 generator: Poisson(R) arrivals, Zipf file choice.
 class PoissonZipfStream final : public RequestStream {
 public:
@@ -44,15 +72,10 @@ public:
   PoissonZipfStream(const FileCatalog& catalog, double rate, double horizon,
                     util::Rng rng);
 
-  std::optional<Request> next() override;
+  std::optional<Request> next() override { return inner_.next(); }
 
 private:
-  const FileCatalog& catalog_;
-  PoissonProcess arrivals_;
-  double horizon_;
-  util::Rng rng_;
-  util::AliasTable file_choice_;
-  std::uint64_t next_id_ = 0;
+  ArrivalZipfStream inner_;
 };
 
 /// Replays a trace verbatim.

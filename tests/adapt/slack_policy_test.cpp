@@ -1,0 +1,85 @@
+#include "adapt/slack.h"
+
+#include <gtest/gtest.h>
+
+#include "disk/params.h"
+
+namespace spindown::adapt {
+namespace {
+
+const disk::DiskParams kParams = disk::DiskParams::st3500630as();
+
+TEST(SlackAwarePolicy, StartsAtTheFloor) {
+  SlackConfig cfg;
+  SlackAwarePolicy policy{kParams, cfg};
+  util::Rng rng{1};
+  EXPECT_DOUBLE_EQ(policy.threshold(),
+                   cfg.floor_factor * kParams.break_even_threshold());
+  EXPECT_DOUBLE_EQ(*policy.idle_timeout(rng), policy.threshold());
+}
+
+TEST(SlackAwarePolicy, SloViolationsWidenToTheCeiling) {
+  SlackConfig cfg;
+  cfg.target_response_s = 10.0;
+  SlackAwarePolicy policy{kParams, cfg};
+  for (int i = 0; i < 200; ++i) policy.observe_completion(25.0);
+  EXPECT_DOUBLE_EQ(policy.threshold(),
+                   cfg.max_factor * kParams.break_even_threshold());
+}
+
+TEST(SlackAwarePolicy, MeetingTheSloNarrowsBackToTheFloor) {
+  SlackConfig cfg;
+  cfg.target_response_s = 10.0;
+  SlackAwarePolicy policy{kParams, cfg};
+  for (int i = 0; i < 200; ++i) policy.observe_completion(25.0);
+  ASSERT_GT(policy.threshold(), kParams.break_even_threshold());
+  for (int i = 0; i < 3000; ++i) policy.observe_completion(0.5);
+  EXPECT_DOUBLE_EQ(policy.threshold(),
+                   cfg.floor_factor * kParams.break_even_threshold());
+}
+
+TEST(SlackAwarePolicy, QuantileTrackerApproximatesTheTail) {
+  SlackConfig cfg;
+  cfg.percentile = 99.0;
+  SlackAwarePolicy policy{kParams, cfg};
+  util::Rng rng{11};
+  // 97% fast responses at ~0.5 s, 3% stalls at ~20 s: the p99 sits inside
+  // the stall mode.
+  for (int i = 0; i < 50000; ++i) {
+    const double r =
+        rng.uniform01() < 0.97 ? rng.uniform(0.2, 0.8) : rng.uniform(15.0, 25.0);
+    policy.observe_completion(r);
+  }
+  EXPECT_GT(policy.estimated_percentile(), 5.0);
+  EXPECT_LT(policy.estimated_percentile(), 30.0);
+}
+
+TEST(SlackAwarePolicy, ThresholdStaysInsideTheClamp) {
+  SlackConfig cfg;
+  cfg.target_response_s = 5.0;
+  SlackAwarePolicy policy{kParams, cfg};
+  util::Rng rng{13};
+  const double lo = cfg.floor_factor * kParams.break_even_threshold();
+  const double hi = cfg.max_factor * kParams.break_even_threshold();
+  for (int i = 0; i < 5000; ++i) {
+    policy.observe_completion(rng.exponential(1.0 / 5.0));
+    EXPECT_GE(policy.threshold(), lo - 1e-12);
+    EXPECT_LE(policy.threshold(), hi + 1e-12);
+  }
+}
+
+TEST(SlackAwarePolicy, RejectsBadConfig) {
+  SlackConfig bad_slo;
+  bad_slo.target_response_s = 0.0;
+  EXPECT_THROW((SlackAwarePolicy{kParams, bad_slo}), std::invalid_argument);
+  SlackConfig bad_pct;
+  bad_pct.percentile = 100.0;
+  EXPECT_THROW((SlackAwarePolicy{kParams, bad_pct}), std::invalid_argument);
+  SlackConfig bad_clamp;
+  bad_clamp.floor_factor = 2.0;
+  bad_clamp.max_factor = 1.0;
+  EXPECT_THROW((SlackAwarePolicy{kParams, bad_clamp}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace spindown::adapt

@@ -207,5 +207,100 @@ TEST_F(DiskFixture, ManyCyclesCountSpinEvents) {
   EXPECT_EQ(m.spin_ups, 4u); // the first request found the disk idle
 }
 
+/// Records the feedback taps so tests can assert what the disk reports.
+class ProbePolicy final : public SpinDownPolicy {
+public:
+  explicit ProbePolicy(std::optional<double> timeout) : timeout_(timeout) {}
+  std::optional<double> idle_timeout(util::Rng&) override { return timeout_; }
+  void observe_idle(double duration, bool spun_down) override {
+    idle_periods.emplace_back(duration, spun_down);
+  }
+  void observe_completion(double response) override {
+    responses.push_back(response);
+  }
+  std::string name() const override { return "probe"; }
+
+  std::vector<std::pair<double, bool>> idle_periods;
+  std::vector<double> responses;
+
+private:
+  std::optional<double> timeout_;
+};
+
+TEST_F(DiskFixture, PolicyObservesIdlePeriodsWithoutSpinDown) {
+  auto probe_owner = std::make_unique<ProbePolicy>(std::nullopt);
+  ProbePolicy* probe = probe_owner.get();
+  auto d = make_disk(std::move(probe_owner));
+  const util::Bytes size = util::mb(72.0);
+  const double svc = params_.service_time(size);
+  sim_.schedule_at(30.0, [&] { d->submit(0, size); });
+  sim_.schedule_at(100.0, [&] { d->submit(1, size); });
+  sim_.run();
+  ASSERT_EQ(probe->idle_periods.size(), 2u);
+  // First period: construction (t = 0) to the first arrival.
+  EXPECT_DOUBLE_EQ(probe->idle_periods[0].first, 30.0);
+  EXPECT_FALSE(probe->idle_periods[0].second);
+  // Second: from first completion to the second arrival.
+  EXPECT_NEAR(probe->idle_periods[1].first, 100.0 - (30.0 + svc), 1e-9);
+  EXPECT_FALSE(probe->idle_periods[1].second);
+}
+
+TEST_F(DiskFixture, PolicyObservesFullPeriodAcrossSpinDown) {
+  // Timeout 10 s, next arrival 200 s after going idle: the period is
+  // reported once, with its *full* duration and the spun_down flag.
+  auto probe_owner = std::make_unique<ProbePolicy>(10.0);
+  ProbePolicy* probe = probe_owner.get();
+  auto d = make_disk(std::move(probe_owner));
+  const util::Bytes size = util::mb(72.0);
+  sim_.schedule_at(0.0, [&] { d->submit(0, size); });
+  const double svc = params_.service_time(size);
+  sim_.schedule_at(svc + 200.0, [&] { d->submit(1, size); });
+  sim_.run();
+  ASSERT_EQ(probe->idle_periods.size(), 2u);
+  EXPECT_DOUBLE_EQ(probe->idle_periods[0].first, 0.0); // arrival at t = 0
+  EXPECT_NEAR(probe->idle_periods[1].first, 200.0, 1e-9);
+  EXPECT_TRUE(probe->idle_periods[1].second);
+  // An arrival during the spin-up must NOT be reported as another period.
+  EXPECT_EQ(d->metrics(sim_.now()).spin_downs, 1u + 1u); // trailing idle parks too
+}
+
+TEST_F(DiskFixture, PolicyObservesEveryCompletionResponse) {
+  auto probe_owner = std::make_unique<ProbePolicy>(std::nullopt);
+  ProbePolicy* probe = probe_owner.get();
+  auto d = make_disk(std::move(probe_owner));
+  const util::Bytes size = util::mb(72.0);
+  sim_.schedule_at(0.0, [&] {
+    d->submit(0, size);
+    d->submit(1, size);
+  });
+  sim_.run();
+  ASSERT_EQ(probe->responses.size(), 2u);
+  ASSERT_EQ(completions_.size(), 2u);
+  EXPECT_DOUBLE_EQ(probe->responses[0], completions_[0].response_time());
+  EXPECT_DOUBLE_EQ(probe->responses[1], completions_[1].response_time());
+}
+
+TEST_F(DiskFixture, MetricsExposeIdlePeriodHistogram) {
+  auto d = make_disk(make_never_policy());
+  const util::Bytes size = util::mb(72.0);
+  const double svc = params_.service_time(size);
+  sim_.schedule_at(50.0, [&] { d->submit(0, size); });
+  sim_.schedule_at(50.0 + svc + 400.0, [&] { d->submit(1, size); });
+  sim_.run();
+  const auto m = d->metrics(sim_.now());
+  EXPECT_EQ(m.idle_periods.total(), 2u); // 50 s and 400 s periods
+  // Both land in the bins that cover their durations.
+  std::uint64_t in_range = 0;
+  for (std::size_t i = 0; i < m.idle_periods.bins(); ++i) {
+    if (m.idle_periods.bin_count(i) == 0) continue;
+    in_range += m.idle_periods.bin_count(i);
+    EXPECT_TRUE((m.idle_periods.bin_lo(i) <= 50.0 &&
+                 m.idle_periods.bin_hi(i) > 50.0) ||
+                (m.idle_periods.bin_lo(i) <= 400.0 &&
+                 m.idle_periods.bin_hi(i) > 400.0));
+  }
+  EXPECT_EQ(in_range, 2u);
+}
+
 } // namespace
 } // namespace spindown::disk

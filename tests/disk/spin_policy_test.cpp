@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -69,6 +70,45 @@ TEST(RandomizedCompetitivePolicy, DensityMatchesTheory) {
   }
   const double expected = (std::exp(0.5) - 1.0) / (M_E - 1.0);
   EXPECT_NEAR(static_cast<double>(below) / kN, expected, 0.005);
+}
+
+TEST(RandomizedCompetitivePolicy, KolmogorovSmirnovAgainstTheory) {
+  // Full-distribution test: the empirical CDF of sampled thresholds must
+  // match F(t) = (e^(t/B) - 1)/(e - 1) on [0, B] everywhere, not just at
+  // one probe point.  The KS critical value at alpha = 0.001 is
+  // 1.95/sqrt(n); a genuine distribution mismatch (say, uniform sampling)
+  // scores an order of magnitude above it.
+  const auto p = DiskParams::st3500630as();
+  RandomizedCompetitivePolicy policy{p};
+  util::Rng rng{23};
+  const double B = p.break_even_threshold();
+  constexpr std::size_t kN = 20000;
+  std::vector<double> samples;
+  samples.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i) samples.push_back(*policy.idle_timeout(rng));
+  std::sort(samples.begin(), samples.end());
+  double ks = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double f = (std::exp(samples[i] / B) - 1.0) / (M_E - 1.0);
+    const double lo = static_cast<double>(i) / kN;
+    const double hi = static_cast<double>(i + 1) / kN;
+    ks = std::max({ks, std::abs(f - lo), std::abs(f - hi)});
+  }
+  EXPECT_LT(ks, 1.95 / std::sqrt(static_cast<double>(kN)));
+}
+
+TEST(RandomizedCompetitivePolicy, MeanMatchesClosedForm) {
+  // E[T] = int_0^B t e^(t/B) / (B(e-1)) dt = B / (e - 1).
+  const auto p = DiskParams::st3500630as();
+  RandomizedCompetitivePolicy policy{p};
+  util::Rng rng{29};
+  const double B = p.break_even_threshold();
+  constexpr int kN = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += *policy.idle_timeout(rng);
+  const double expected = B / (M_E - 1.0);
+  // Standard error: sd < B/4, so 4 sigma is well under 1% of the mean.
+  EXPECT_NEAR(sum / kN, expected, 4.0 * (B / 4.0) / std::sqrt(kN));
 }
 
 TEST(OfflineOptimal, ShortGapStaysIdle) {

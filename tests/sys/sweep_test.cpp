@@ -61,6 +61,50 @@ TEST(RunSweep, ParallelMatchesSerial) {
   }
 }
 
+TEST(RunSweep, DeterministicAcrossThreadCounts) {
+  // Same configs + seeds must produce bit-identical RunResults no matter
+  // how the sweep is scheduled.  The grid deliberately includes the
+  // adaptive policies and non-stationary workloads: their per-disk state
+  // lives inside each run, so nothing may leak across workers.
+  const auto cat = sweep_catalog();
+  std::vector<ExperimentConfig> configs;
+  const std::vector<PolicySpec> policies{
+      PolicySpec::break_even(), PolicySpec::randomized(), PolicySpec::ewma(),
+      PolicySpec::share(), PolicySpec::slack(10.0)};
+  const std::vector<WorkloadSpec> workloads{
+      WorkloadSpec::poisson(1.0, 150.0),
+      WorkloadSpec::nhpp({{0.0, 2.0}, {50.0, 0.2}}, 150.0, 100.0),
+      WorkloadSpec::mmpp({{2.0, 0.1}, {40.0, 80.0}}, 150.0)};
+  for (const auto& p : policies) {
+    for (const auto& w : workloads) {
+      auto cfg = config_with_rate(cat, 1.0);
+      cfg.policy = p;
+      cfg.workload = w;
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const auto serial = run_sweep(configs, 1);
+  for (const unsigned threads : {2u, 8u}) {
+    const auto parallel = run_sweep(configs, threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("config " + std::to_string(i) + " threads " +
+                   std::to_string(threads));
+      EXPECT_EQ(serial[i].requests, parallel[i].requests);
+      EXPECT_DOUBLE_EQ(serial[i].power.energy, parallel[i].power.energy);
+      EXPECT_EQ(serial[i].power.spin_downs, parallel[i].power.spin_downs);
+      EXPECT_EQ(serial[i].power.spin_ups, parallel[i].power.spin_ups);
+      EXPECT_EQ(serial[i].response.count(), parallel[i].response.count());
+      EXPECT_DOUBLE_EQ(serial[i].response.mean(), parallel[i].response.mean());
+      EXPECT_DOUBLE_EQ(serial[i].response.max(), parallel[i].response.max());
+      EXPECT_EQ(serial[i].completed_at_horizon,
+                parallel[i].completed_at_horizon);
+      EXPECT_EQ(serial[i].in_flight_at_horizon,
+                parallel[i].in_flight_at_horizon);
+    }
+  }
+}
+
 TEST(RunSweep, PropagatesWorkerExceptions) {
   const auto cat = sweep_catalog();
   auto bad = config_with_rate(cat, 1.0);

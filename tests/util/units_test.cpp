@@ -39,5 +39,31 @@ TEST(Units, TimeConstants) {
   EXPECT_DOUBLE_EQ(kDay, 86400.0);
 }
 
+TEST(Units, FormatRoundtripIsShortAndExact) {
+  EXPECT_EQ(format_roundtrip(10.0), "10");
+  EXPECT_EQ(format_roundtrip(0.25), "0.25");
+  EXPECT_EQ(format_roundtrip(53.3), "53.3");
+  // Values with no short decimal form still round-trip bit for bit.
+  for (const double v : {1.0 / 3.0, 0.1, 1e-7, 123456.789012345, -0.0}) {
+    const auto s = format_roundtrip(v);
+    const auto back = parse_finite_double(s);
+    ASSERT_TRUE(back.has_value()) << s;
+    EXPECT_EQ(*back, v) << s;
+  }
+}
+
+TEST(Units, ParseFiniteDoubleIsStrict) {
+  ASSERT_TRUE(parse_finite_double("3.5").has_value());
+  EXPECT_DOUBLE_EQ(*parse_finite_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*parse_finite_double("-2e3"), -2000.0);
+  EXPECT_FALSE(parse_finite_double("").has_value());
+  EXPECT_FALSE(parse_finite_double("abc").has_value());
+  EXPECT_FALSE(parse_finite_double("3.5x").has_value());
+  EXPECT_FALSE(parse_finite_double("nan").has_value());
+  EXPECT_FALSE(parse_finite_double("inf").has_value());
+  EXPECT_FALSE(parse_finite_double("-infinity").has_value());
+  EXPECT_FALSE(parse_finite_double("1e999").has_value());
+}
+
 } // namespace
 } // namespace spindown::util
