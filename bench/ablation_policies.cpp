@@ -13,8 +13,11 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "core/normalize.h"
+#include "core/pack_disks.h"
 #include "disk/spin_policy.h"
 #include "paper_workload.h"
+#include "sys/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace spindown;

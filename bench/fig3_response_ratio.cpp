@@ -19,24 +19,23 @@ int main(int argc, char** argv) {
   // Always the full 40,000-file catalog: the farm/load balance of Table 1
   // depends on it (a smaller catalog inflates mean file size and overloads
   // the 100-disk farm at high R).  --full only densifies the sweep grid.
-  const auto catalog = bench::table1_catalog(opts.seed);
   const std::vector<double> rates =
       opts.full ? std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
                 : std::vector<double>{1, 2, 4, 6, 8, 10, 12};
   const std::vector<double> loads{0.5, 0.6, 0.7, 0.8};
 
-  std::vector<sys::ExperimentConfig> configs;
+  std::vector<sys::ScenarioSpec> scenarios;
   for (const double r : rates) {
-    configs.push_back(
-        bench::random_config(catalog, r, bench::kPaperFarmDisks, opts.seed));
+    scenarios.push_back(
+        bench::random_scenario(r, bench::kPaperFarmDisks, opts.seed));
   }
   for (const double r : rates) {
     for (const double l : loads) {
-      configs.push_back(
-          bench::packed_config(catalog, r, l, bench::kPaperFarmDisks, opts.seed));
+      scenarios.push_back(
+          bench::packed_scenario(r, l, bench::kPaperFarmDisks, opts.seed));
     }
   }
-  const auto results = sys::run_sweep(configs, opts.threads);
+  const auto results = sys::run_scenarios(scenarios, opts.threads);
 
   util::TablePrinter table{{"R (req/s)", "L=50%", "L=60%", "L=70%", "L=80%",
                             "rnd mean resp"}};

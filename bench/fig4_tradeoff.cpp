@@ -19,20 +19,19 @@ int main(int argc, char** argv) {
   // Always the full 40,000-file catalog: the farm/load balance of Table 1
   // depends on it (a smaller catalog inflates mean file size and overloads
   // the 100-disk farm at high R).  --full only densifies the sweep grid.
-  const auto catalog = bench::table1_catalog(opts.seed);
   const double rate = 6.0;
   std::vector<double> loads;
   for (double l = 0.40; l <= 0.901; l += opts.full ? 0.05 : 0.10) {
     loads.push_back(l);
   }
 
-  std::vector<sys::ExperimentConfig> configs;
-  configs.reserve(loads.size());
+  std::vector<sys::ScenarioSpec> scenarios;
+  scenarios.reserve(loads.size());
   for (const double l : loads) {
-    configs.push_back(
-        bench::packed_config(catalog, rate, l, bench::kPaperFarmDisks, opts.seed));
+    scenarios.push_back(
+        bench::packed_scenario(rate, l, bench::kPaperFarmDisks, opts.seed));
   }
-  const auto results = sys::run_sweep(configs, opts.threads);
+  const auto results = sys::run_scenarios(scenarios, opts.threads);
 
   util::TablePrinter table{{"L", "disks used", "avg power (W)",
                             "mean resp (s)", "p95 resp (s)"}};

@@ -18,30 +18,24 @@ int main(int argc, char** argv) {
   bench::print_header("Power saving vs. idleness threshold (NERSC trace)",
                       "Figure 5 of Otoo/Rotem/Tsao, IPPS 2009");
 
-  workload::NerscSpec spec = workload::NerscSpec::paper();
-  if (!opts.full) {
-    // Scale files and requests together but keep the full 30 days, so the
-    // per-disk arrival rate (what spin-down economics depend on) matches
-    // the paper's 0.0447/s over 96 disks.
-    spec.n_files = 20'000;
-    spec.n_requests = 26'000;
-  }
+  const auto spec = bench::nersc_paper_spec(opts.full);
   std::cout << "synthesizing NERSC-like trace (" << spec.n_requests
             << " requests / " << spec.n_files << " files)...\n\n";
-  const auto trace = workload::synthesize_nersc(spec);
 
   const std::vector<double> thresholds_h =
       opts.full ? std::vector<double>{0.01, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0}
                 : std::vector<double>{0.01, 0.25, 0.5, 1.0, 2.0};
 
-  std::vector<sys::ExperimentConfig> configs;
+  // run_scenarios synthesizes the trace once and builds each of the three
+  // distinct mappings once across the whole threshold grid.
+  std::vector<sys::ScenarioSpec> scenarios;
   for (const double th : thresholds_h) {
     for (const auto c : bench::kAllNerscConfigs) {
-      configs.push_back(
-          bench::nersc_config(trace, c, th * util::kHour, opts.seed));
+      scenarios.push_back(
+          bench::nersc_scenario(spec, c, th * util::kHour, opts.seed));
     }
   }
-  const auto results = sys::run_sweep(configs, opts.threads);
+  const auto results = sys::run_scenarios(scenarios, opts.threads);
 
   util::TablePrinter table{{"threshold (h)", "RND", "Pack_Disk", "Pack_Disk4",
                             "RND+LRU", "Pack_Disk4+LRU"}};

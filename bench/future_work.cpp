@@ -13,6 +13,8 @@
 
 #include "bench_common.h"
 #include "core/maid.h"
+#include "core/normalize.h"
+#include "core/pack_disks.h"
 #include "core/pack_segregated.h"
 #include "paper_workload.h"
 #include "sys/phased.h"

@@ -20,40 +20,24 @@ int main(int argc, char** argv) {
   bench::print_header("Pack_Disk_v group-size sweep (v = 1..8)",
                       "§5.1 closing text of Otoo/Rotem/Tsao, IPPS 2009");
 
-  workload::NerscSpec spec = workload::NerscSpec::paper();
+  workload::NerscSpec spec = bench::nersc_paper_spec(opts.full);
   spec.batch_fraction = 0.30; // pronounced batching — the case v targets
   spec.batch_min = 6;
   spec.batch_max = 12;
-  if (!opts.full) {
-    // Scaled farm at the paper's per-disk arrival rate (30 days kept).
-    spec.n_files = 20'000;
-    spec.n_requests = 26'000;
-  }
   std::cout << "synthesizing batch-heavy NERSC-like trace...\n\n";
-  const auto trace = workload::synthesize_nersc(spec);
 
-  core::LoadModel model;
-  model.rate = static_cast<double>(trace.size()) / trace.duration();
-  model.load_fraction = 0.8;
-  const auto items = core::normalize(trace.catalog(), model);
-
-  std::vector<sys::ExperimentConfig> configs;
-  std::vector<std::uint32_t> disk_counts;
-  for (std::size_t v = 1; v <= 8; ++v) {
-    core::PackDisksGrouped pack{v};
-    const auto a = pack.allocate(items);
-    sys::ExperimentConfig cfg;
-    cfg.label = pack.name();
-    cfg.catalog = &trace.catalog();
-    cfg.mapping = a.disk_of;
-    cfg.num_disks = a.disk_count;
-    cfg.policy = sys::PolicySpec::fixed(0.5 * util::kHour);
-    cfg.workload = sys::WorkloadSpec::replay(trace);
-    cfg.seed = opts.seed;
-    configs.push_back(std::move(cfg));
-    disk_counts.push_back(a.disk_count);
+  std::vector<sys::ScenarioSpec> scenarios;
+  for (std::uint32_t v = 1; v <= 8; ++v) {
+    sys::ScenarioSpec s;
+    s.catalog = sys::CatalogSpec::nersc_synth(spec);
+    s.placement = sys::PlacementSpec::grouped(v);
+    s.load_fraction = 0.8;
+    s.policy = sys::PolicySpec::fixed(0.5 * util::kHour);
+    s.workload = sys::WorkloadSpec::replay_catalog();
+    s.seed = opts.seed;
+    scenarios.push_back(std::move(s));
   }
-  const auto results = sys::run_sweep(configs, opts.threads);
+  const auto results = sys::run_scenarios(scenarios, opts.threads);
 
   util::TablePrinter table{{"v", "disks", "power saving", "mean resp (s)",
                             "p95 resp (s)", "p99 resp (s)"}};
@@ -64,13 +48,14 @@ int main(int argc, char** argv) {
   }
   for (std::size_t v = 1; v <= 8; ++v) {
     const auto& r = results[v - 1];
-    table.row(v, disk_counts[v - 1],
+    const auto disks = r.per_disk.size();
+    table.row(v, disks,
               util::format_double(r.power.saving_vs_always_on, 3),
               util::format_double(r.response.mean(), 2),
               util::format_double(r.response.p95(), 2),
               util::format_double(r.response.p99(), 2));
     if (csv) {
-      csv->row(v, disk_counts[v - 1], r.power.saving_vs_always_on,
+      csv->row(v, disks, r.power.saving_vs_always_on,
                r.response.mean(), r.response.p95(), r.response.p99());
     }
   }

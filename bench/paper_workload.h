@@ -1,20 +1,22 @@
-// paper_workload.h — shared construction of the paper's experimental setups.
+// paper_workload.h — the paper's experimental setups as ScenarioSpec values.
 //
 // Figures 2-4 use the Table 1 synthetic workload: 40,000 files on a 100-disk
 // farm, Poisson arrivals at R in [1, 12], simulated for 4000 s.  Figures 5/6
-// use the (synthesized) NERSC trace on a 96-disk farm for 720 h.
+// use the (synthesized) NERSC trace on a 96-disk farm for 720 h.  Every
+// setup is a sys::ScenarioSpec — a value with a canonical string — so each
+// figure point is reproducible with examples/spindown_run.cpp:
+//
+//   $ ./spindown_run --scenario "$(this file's spec strings)"
+//
+// Catalog generation and packing are memoized inside sys::run_scenarios, so
+// a figure's whole grid builds each catalog and each distinct mapping once.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "core/normalize.h"
-#include "core/pack_disks.h"
-#include "core/pack_grouped.h"
-#include "core/random_alloc.h"
-#include "sys/experiment.h"
-#include "sys/sweep.h"
+#include "sys/scenario.h"
 #include "workload/catalog.h"
 #include "workload/nersc.h"
 
@@ -24,7 +26,8 @@ namespace spindown::bench {
 inline constexpr std::uint32_t kPaperFarmDisks = 100;
 inline constexpr double kPaperSimSeconds = 4000.0;
 
-/// The Table 1 catalog (full 40,000 files unless scaled down).
+/// The Table 1 catalog as a value (for analyses that inspect the catalog
+/// itself; experiment configs should go through table1-catalog scenarios).
 inline workload::FileCatalog table1_catalog(std::uint64_t seed,
                                             std::size_t n_files = 40'000) {
   workload::SyntheticSpec spec = workload::SyntheticSpec::paper_table1();
@@ -33,45 +36,45 @@ inline workload::FileCatalog table1_catalog(std::uint64_t seed,
   return workload::generate_catalog(spec, rng);
 }
 
-/// Pack the catalog for (R, L) and return the experiment config on a farm of
-/// at least `farm` disks (grown if the packing needs more).
-inline sys::ExperimentConfig packed_config(const workload::FileCatalog& cat,
-                                           double rate, double load_fraction,
-                                           std::uint32_t farm,
-                                           std::uint64_t seed) {
-  core::LoadModel model;
-  model.rate = rate;
-  model.load_fraction = load_fraction;
-  core::PackDisks pack;
-  const auto a = pack.allocate(core::normalize(cat, model));
-  sys::ExperimentConfig cfg;
-  cfg.label = "pack_disks R=" + util::format_double(rate, 2) +
-              " L=" + util::format_double(load_fraction, 2);
-  cfg.catalog = &cat;
-  cfg.mapping = a.disk_of;
-  cfg.num_disks = std::max(farm, a.disk_count);
-  cfg.workload = sys::WorkloadSpec::poisson(rate, kPaperSimSeconds);
-  cfg.seed = seed;
-  return cfg;
+/// Pack_Disks at (R, L) on a farm of at least `farm` disks (grown if the
+/// packing needs more).
+inline sys::ScenarioSpec packed_scenario(double rate, double load_fraction,
+                                         std::uint32_t farm,
+                                         std::uint64_t seed,
+                                         std::size_t n_files = 40'000) {
+  sys::ScenarioSpec s;
+  s.catalog = sys::CatalogSpec::table1(n_files, seed);
+  s.placement = sys::PlacementSpec::pack();
+  s.load_fraction = load_fraction;
+  s.disks = farm;
+  s.workload = sys::WorkloadSpec::poisson(rate, kPaperSimSeconds);
+  s.seed = seed;
+  return s;
 }
 
-/// Random placement over exactly `farm` disks.
-inline sys::ExperimentConfig random_config(const workload::FileCatalog& cat,
-                                           double rate, std::uint32_t farm,
-                                           std::uint64_t seed) {
-  core::LoadModel model;
-  model.rate = rate;
-  model.load_fraction = 1.0; // random ignores load; normalize leniently
-  core::RandomAllocator rnd{farm, seed};
-  const auto a = rnd.allocate(core::normalize(cat, model));
-  sys::ExperimentConfig cfg;
-  cfg.label = "random R=" + util::format_double(rate, 2);
-  cfg.catalog = &cat;
-  cfg.mapping = a.disk_of;
-  cfg.num_disks = farm;
-  cfg.workload = sys::WorkloadSpec::poisson(rate, kPaperSimSeconds);
-  cfg.seed = seed;
-  return cfg;
+/// Random placement over exactly `farm` disks (the Figures 2-4 baseline).
+inline sys::ScenarioSpec random_scenario(double rate, std::uint32_t farm,
+                                         std::uint64_t seed,
+                                         std::size_t n_files = 40'000) {
+  sys::ScenarioSpec s;
+  s.catalog = sys::CatalogSpec::table1(n_files, seed);
+  s.placement = sys::PlacementSpec::random();
+  s.disks = farm;
+  s.workload = sys::WorkloadSpec::poisson(rate, kPaperSimSeconds);
+  s.seed = seed;
+  return s;
+}
+
+/// The §5.1 NERSC synthesis, full-size or scaled for quick runs.  Scaling
+/// keeps the full 30 days, so the per-disk arrival rate (what spin-down
+/// economics depend on) matches the paper's 0.0447/s over 96 disks.
+inline workload::NerscSpec nersc_paper_spec(bool full) {
+  workload::NerscSpec spec = workload::NerscSpec::paper();
+  if (!full) {
+    spec.n_files = 20'000;
+    spec.n_requests = 26'000;
+  }
+  return spec;
 }
 
 /// The five §5.1 configurations of Figures 5/6.
@@ -92,63 +95,38 @@ inline constexpr NerscConfig kAllNerscConfigs[] = {
     NerscConfig::kRandom, NerscConfig::kPack, NerscConfig::kPack4,
     NerscConfig::kRandomLru, NerscConfig::kPack4Lru};
 
-/// Allocation for a NERSC config; `farm` receives the disk count used.
-inline std::vector<std::uint32_t> nersc_mapping(const workload::Trace& trace,
-                                                NerscConfig config,
-                                                std::uint32_t& farm,
-                                                std::uint64_t seed) {
-  core::LoadModel model;
-  model.rate = std::max(
-      1e-6, static_cast<double>(trace.size()) / std::max(1.0, trace.duration()));
-  model.load_fraction = 0.8;
-  const auto items = core::normalize(trace.catalog(), model);
-
+/// One §5.1 point: replay the synthesized trace under a configuration and
+/// fixed idleness threshold.  disks stays 0: Pack_Disk(4) uses its own
+/// count and random spreads over as many disks as Pack_Disks would (§5.1:
+/// "the same number of disks").
+inline sys::ScenarioSpec nersc_scenario(const workload::NerscSpec& trace_spec,
+                                        NerscConfig config,
+                                        double threshold_s,
+                                        std::uint64_t seed) {
+  sys::ScenarioSpec s;
+  s.label = to_string(config);
+  s.catalog = sys::CatalogSpec::nersc_synth(trace_spec);
+  s.load_fraction = 0.8;
   switch (config) {
-    case NerscConfig::kPack: {
-      core::PackDisks pack;
-      const auto a = pack.allocate(items);
-      farm = a.disk_count;
-      return a.disk_of;
-    }
+    case NerscConfig::kPack:
+      s.placement = sys::PlacementSpec::pack();
+      break;
     case NerscConfig::kPack4:
-    case NerscConfig::kPack4Lru: {
-      core::PackDisksGrouped pack{4};
-      const auto a = pack.allocate(items);
-      farm = a.disk_count;
-      return a.disk_of;
-    }
+    case NerscConfig::kPack4Lru:
+      s.placement = sys::PlacementSpec::grouped(4);
+      break;
     case NerscConfig::kRandom:
-    case NerscConfig::kRandomLru: {
-      // §5.1: random packs into the same number of disks as Pack_Disks.
-      core::PackDisks pack;
-      const auto packed = pack.allocate(items);
-      farm = packed.disk_count;
-      core::RandomAllocator rnd{farm, seed};
-      return rnd.allocate(items).disk_of;
-    }
+    case NerscConfig::kRandomLru:
+      s.placement = sys::PlacementSpec::random();
+      break;
   }
-  farm = 0;
-  return {};
-}
-
-inline sys::ExperimentConfig nersc_config(const workload::Trace& trace,
-                                          NerscConfig config,
-                                          double threshold_s,
-                                          std::uint64_t seed) {
-  std::uint32_t farm = 0;
-  auto mapping = nersc_mapping(trace, config, farm, seed);
-  sys::ExperimentConfig cfg;
-  cfg.label = to_string(config);
-  cfg.catalog = &trace.catalog();
-  cfg.mapping = std::move(mapping);
-  cfg.num_disks = farm;
-  cfg.policy = sys::PolicySpec::fixed(threshold_s);
   if (config == NerscConfig::kRandomLru || config == NerscConfig::kPack4Lru) {
-    cfg.cache = sys::CacheSpec::lru(util::gb(16.0)); // §5.1's cache
+    s.cache = sys::CacheSpec::lru(util::gb(16.0)); // §5.1's cache
   }
-  cfg.workload = sys::WorkloadSpec::replay(trace);
-  cfg.seed = seed;
-  return cfg;
+  s.policy = sys::PolicySpec::fixed(threshold_s);
+  s.workload = sys::WorkloadSpec::replay_catalog();
+  s.seed = seed;
+  return s;
 }
 
 } // namespace spindown::bench

@@ -1,19 +1,17 @@
 // quickstart.cpp — the 60-second tour of the library.
 //
-// Builds a small Zipf catalog, allocates it with Pack_Disks and with random
-// placement, simulates both under a Poisson read workload, and prints the
-// power/latency trade-off — the paper's core result in miniature.
+// Names two experiments as ScenarioSpec strings — the paper's Pack_Disks
+// allocation and the random baseline on the same farm and workload — runs
+// both, and prints the power/latency trade-off: the paper's core result in
+// miniature.  Each printed scenario string can be replayed verbatim with
+// examples/spindown_run.cpp.
 //
 //   $ ./quickstart [--files 2000] [--rate 2.0] [--seed 1]
 #include <iostream>
 
-#include "core/normalize.h"
-#include "core/pack_disks.h"
-#include "core/random_alloc.h"
-#include "sys/experiment.h"
+#include "sys/scenario.h"
 #include "util/cli.h"
 #include "util/table.h"
-#include "workload/catalog.h"
 
 int main(int argc, char** argv) {
   using namespace spindown;
@@ -27,43 +25,38 @@ int main(int argc, char** argv) {
   const double rate = cli.get_double("rate", 2.0);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
 
-  // 1. A catalog of files: Zipf-like popularity, inverse-Zipf sizes
-  //    (Table 1 of the paper, scaled down).
-  workload::SyntheticSpec spec = workload::SyntheticSpec::paper_table1();
-  spec.n_files = n_files;
-  util::Rng rng{seed};
-  const auto catalog = workload::generate_catalog(spec, rng);
-  std::cout << "catalog: " << catalog.size() << " files, "
-            << util::format_bytes(catalog.total_bytes()) << " total\n";
+  // 1. The whole experiment as a value: a Table 1-style catalog (Zipf-like
+  //    popularity, inverse-Zipf sizes), packed with the paper's algorithm,
+  //    under a Poisson read workload.
+  sys::ScenarioSpec packed;
+  packed.catalog = sys::CatalogSpec::table1(n_files, seed);
+  packed.placement = sys::PlacementSpec::pack();
+  packed.load_fraction = 0.7;
+  packed.workload = sys::WorkloadSpec::poisson(rate, 4000.0);
+  packed.seed = seed;
 
-  // 2. Normalize into 2D vector-packing items: (size, load) per file.
-  core::LoadModel model;
-  model.rate = rate;
-  model.load_fraction = 0.7;
-  const auto items = core::normalize(catalog, model);
+  // 2. Resolve it to see the allocation; the cache memoizes the catalog and
+  //    packing across every scenario derived from the same keys.
+  sys::ScenarioCache cache;
+  const auto first = cache.resolve(packed);
+  std::cout << "catalog: " << first.catalog->size() << " files, "
+            << util::format_bytes(first.catalog->total_bytes()) << " total\n";
+  const std::uint32_t packed_disks = first.config.num_disks;
 
-  // 3. Allocate with the paper's algorithm and with the random baseline.
-  core::PackDisks pack;
-  const auto packed = pack.allocate(items);
-  const std::uint32_t farm = std::max<std::uint32_t>(packed.disk_count * 3, 20);
-  core::RandomAllocator rnd{farm, seed};
-  const auto random = rnd.allocate(items);
-  std::cout << "pack_disks uses " << packed.disk_count << " of " << farm
+  // 3. The comparison farm: random placement spreads over 3x the disks
+  //    Pack_Disks needs (at least 20), both scenarios simulated on it.
+  const std::uint32_t farm = std::max<std::uint32_t>(packed_disks * 3, 20);
+  packed = packed.with("disks", std::to_string(farm));
+  const auto random =
+      packed.with("placement", "random").with("label", "random");
+  std::cout << "pack_disks uses " << packed_disks << " of " << farm
             << " disks; random spreads over all " << farm << "\n\n";
+  std::cout << "scenarios:\n  " << packed.spec() << "\n  " << random.spec()
+            << "\n\n";
 
-  // 4. Simulate both placements on the same farm and workload.
-  auto run = [&](const core::Assignment& a, const std::string& label) {
-    sys::ExperimentConfig cfg;
-    cfg.label = label;
-    cfg.catalog = &catalog;
-    cfg.mapping = a.disk_of;
-    cfg.num_disks = farm;
-    cfg.workload = sys::WorkloadSpec::poisson(rate, 4000.0);
-    cfg.seed = seed;
-    return sys::run_experiment(cfg);
-  };
-  const auto pack_result = run(packed, "pack_disks");
-  const auto rnd_result = run(random, "random");
+  // 4. Run both (same catalog, same workload, same farm).
+  const auto pack_result = sys::run_experiment(cache.resolve(packed).config);
+  const auto rnd_result = sys::run_experiment(cache.resolve(random).config);
 
   // 5. The trade-off, in one table.
   util::TablePrinter table{
@@ -85,6 +78,7 @@ int main(int argc, char** argv) {
                            : 0.0;
   std::cout << "\npack_disks uses "
             << util::format_double(100.0 * ratio, 1)
-            << "% less energy than random placement on this workload.\n";
+            << "% less energy than random placement on this workload.\n"
+            << "replay either line above with: spindown_run --scenario '...'\n";
   return 0;
 }

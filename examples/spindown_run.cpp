@@ -1,0 +1,162 @@
+// spindown_run.cpp — the universal experiment driver: any point of the
+// scenario space (catalog × placement × policy × scheduler × cache ×
+// workload × seed) from one string, any grid from --sweep axes.
+//
+//   $ ./spindown_run --scenario 'catalog=table1(2000,1) placement=pack
+//                                load=0.7 workload=poisson(2,1000)'
+//   $ ./spindown_run --scenario '...' --sweep 'policy=break-even,never'
+//                    --sweep 'seed=1,2,3' --json
+//
+// Sweep axes cross (every combination runs); values split on top-level
+// commas, so workload=poisson(2,1000),poisson(6,1000) is two values.
+// --json emits one JSON object per scenario per line (JSONL) on stdout.
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sys/scenario.h"
+#include "sys/sweep.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace spindown;
+
+void print_usage(const std::string& program) {
+  std::cout
+      << "usage: " << program << " --scenario '<key=value ...>' [options]\n\n"
+      << "options:\n"
+      << "  --scenario <spec>  the experiment (required); keys:\n"
+      << "      catalog=table1(n,seed)|synth(n,zipf,max,corr,seed)\n"
+      << "              |nersc(files,requests,seed[,dur[,bfrac[,bmin[,bmax]]]])\n"
+      << "              |trace:<stem>\n"
+      << "      placement=pack|grouped:k|random|maid:c|sea:h|seg:k|ffd\n"
+      << "      load=<(0,1]>    disks=<farm floor; 0 = allocator decides>\n"
+      << "      policy=break-even|never|randomized|fixed:T|ewma[:a]\n"
+      << "              |share[:n]|slack[:slo]\n"
+      << "      sched=fcfs|sstf|scan|clook|batch[N[xG]]\n"
+      << "      cache=none|lru:16g|fifo:4g|lfu:16g\n"
+      << "      workload=poisson(R,T)|nhpp(t:r;...,T[,P])\n"
+      << "              |mmpp(r0,r1,d0,d1,T)|trace:<stem>|replay\n"
+      << "      seed=<n>  label=<name>\n"
+      << "  --sweep 'key=v1,v2,...'  cross one axis (repeatable; axes cross)\n"
+      << "  --json             one JSON row per scenario on stdout (JSONL)\n"
+      << "  --threads <n>      parallel sweep width (default: hardware)\n"
+      << "  --help             this text\n";
+}
+
+/// Split on commas at paren depth 0, so sweep values may themselves be
+/// call-style keys: "poisson(2,1000),poisson(6,1000)" is two values.
+std::vector<std::string> split_top_level(const std::string& s) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  for (const char c : s) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli{argc, argv};
+  if (cli.has("help")) {
+    print_usage(cli.program());
+    return 0;
+  }
+  if (!cli.has("scenario")) {
+    print_usage(cli.program());
+    std::cerr << "\nerror: --scenario is required\n";
+    return 2;
+  }
+  const bool json = cli.has("json");
+  const auto threads = static_cast<unsigned>(cli.get_int("threads", 0));
+
+  try {
+    const auto base = sys::ScenarioSpec::parse(cli.get("scenario", ""));
+
+    // Cross the sweep axes.  Each scenario remembers its swept values so
+    // the table has one column per axis.
+    std::vector<sys::ScenarioSpec> specs{base};
+    std::vector<std::vector<std::string>> swept{{}};
+    std::vector<std::string> axis_keys;
+    for (const auto& axis : cli.get_all("sweep")) {
+      const auto eq = axis.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= axis.size()) {
+        std::cerr << "error: --sweep wants key=v1,v2,..., got '" << axis
+                  << "'\n";
+        return 2;
+      }
+      const std::string key = axis.substr(0, eq);
+      const auto values = split_top_level(axis.substr(eq + 1));
+      axis_keys.push_back(key);
+      std::vector<sys::ScenarioSpec> next_specs;
+      std::vector<std::vector<std::string>> next_swept;
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        for (const auto& value : values) {
+          next_specs.push_back(specs[i].with(key, value));
+          next_swept.push_back(swept[i]);
+          next_swept.back().push_back(value);
+        }
+      }
+      specs = std::move(next_specs);
+      swept = std::move(next_swept);
+    }
+
+    auto& info = json ? std::cerr : std::cout;
+    info << "running " << specs.size()
+         << (specs.size() == 1 ? " scenario:\n" : " scenarios; base:\n")
+         << "  " << base.spec() << "\n\n";
+
+    const auto results = sys::run_scenarios(specs, threads);
+
+    if (json) {
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        std::cout << sys::to_json(specs[i], results[i]) << "\n";
+      }
+      return 0;
+    }
+
+    std::vector<std::string> header = axis_keys;
+    for (const auto* col :
+         {"disks", "energy (kJ)", "saving", "avg W", "mean resp (s)",
+          "p95 (s)", "p99 (s)", "spin-ups", "cache hit%"}) {
+      header.emplace_back(col);
+    }
+    util::TablePrinter table{header};
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const auto& r = results[i];
+      std::vector<std::string> row = swept[i];
+      row.push_back(std::to_string(r.per_disk.size()));
+      row.push_back(util::format_double(r.power.energy / 1000.0, 1));
+      row.push_back(util::format_double(r.power.saving_vs_always_on, 3));
+      row.push_back(util::format_double(r.power.average_power, 1));
+      row.push_back(util::format_double(r.response.mean(), 2));
+      row.push_back(util::format_double(r.response.p95(), 2));
+      row.push_back(util::format_double(r.response.p99(), 2));
+      row.push_back(std::to_string(r.power.spin_ups));
+      row.push_back(util::format_double(100.0 * r.cache.hit_ratio(), 1));
+      table.add_row(row);
+    }
+    table.print(std::cout);
+    if (specs.size() == 1) {
+      std::cout << "\nreproduce with:\n  " << cli.program() << " --scenario '"
+                << specs[0].spec() << "'\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

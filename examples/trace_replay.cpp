@@ -5,19 +5,15 @@
 // stem is given, synthesizes a small NERSC-like trace first so the example
 // is runnable out of the box.  Replays it under Pack_Disks, Pack_Disks_4,
 // random placement, first-fit-decreasing and the SEA-style striping
-// baseline, printing the §5.1-style comparison.
+// baseline — each strategy one ScenarioSpec differing only in its
+// placement= key — printing the §5.1-style comparison.
 //
 //   $ ./trace_replay [--trace /path/stem] [--threshold-h 0.5] [--lru-gb 16]
-#include <filesystem>
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "core/greedy.h"
-#include "core/normalize.h"
-#include "core/pack_disks.h"
-#include "core/pack_grouped.h"
-#include "core/random_alloc.h"
-#include "core/sea.h"
-#include "sys/experiment.h"
+#include "sys/scenario.h"
 #include "sys/sweep.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -36,21 +32,32 @@ int main(int argc, char** argv) {
   const double lru_gb = cli.get_double("lru-gb", 0.0);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
 
-  workload::Trace trace = [&] {
-    if (cli.has("trace")) {
-      const auto stem = std::filesystem::path{cli.get("trace", "")};
-      std::cout << "loading trace " << stem << "...\n";
-      return workload::Trace::load(stem);
-    }
+  // The base scenario: the trace's catalog, replayed.  Strategies swap only
+  // the placement key.
+  sys::ScenarioSpec base;
+  if (cli.has("trace")) {
+    const auto stem = cli.get("trace", "");
+    std::cout << "loading trace " << stem << "...\n";
+    base.catalog = sys::CatalogSpec::trace(stem);
+  } else {
     std::cout << "no --trace given; synthesizing a NERSC-like sample...\n";
     workload::NerscSpec spec;
     spec.n_files = 10'000;
     spec.n_requests = 13'000;
     spec.seed = seed;
-    return workload::synthesize_nersc(spec);
-  }();
+    base.catalog = sys::CatalogSpec::nersc_synth(spec);
+  }
+  base.load_fraction = 0.8;
+  base.policy = sys::PolicySpec::fixed(threshold_h * util::kHour);
+  if (lru_gb > 0.0) base.cache = sys::CacheSpec::lru(util::gb(lru_gb));
+  base.workload = sys::WorkloadSpec::replay_catalog();
+  base.seed = seed;
 
-  const auto stats = workload::analyze(trace);
+  // Resolving the base (pack) scenario loads/synthesizes the trace once —
+  // every other strategy reuses it through the cache.
+  sys::ScenarioCache cache;
+  const auto packed = cache.resolve(base);
+  const auto stats = workload::analyze(*packed.trace);
   std::cout << "\ntrace: " << stats.requests << " requests, "
             << stats.distinct_files << " distinct files over "
             << util::format_seconds(stats.duration_s) << "\n"
@@ -64,41 +71,21 @@ int main(int argc, char** argv) {
             << util::format_double(stats.size_frequency_correlation, 3)
             << "\n\n";
 
-  core::LoadModel model;
-  model.rate = std::max(1e-6, stats.arrival_rate);
-  model.load_fraction = 0.8;
-  const auto items = core::normalize(trace.catalog(), model);
-
-  core::PackDisks pack;
-  core::PackDisksGrouped pack4{4};
-  core::FirstFitDecreasing ffd;
-  const auto a_pack = pack.allocate(items);
-  core::RandomAllocator rnd{a_pack.disk_count, seed};
-
-  struct Strategy {
-    std::string name;
-    core::Assignment assignment;
+  // Every strategy runs on at least Pack_Disks' farm, as in §5.1.
+  const auto farm = std::to_string(packed.config.num_disks);
+  const std::vector<std::pair<std::string, std::string>> strategies{
+      {"pack_disks", "pack"},
+      {"pack_disks_4", "grouped:4"},
+      {"random (same #disks)", "random"},
+      {"first_fit_decreasing", "ffd"},
+      {"sea_striping", "sea:0.8"},
   };
-  std::vector<Strategy> strategies;
-  strategies.push_back({"pack_disks", a_pack});
-  strategies.push_back({"pack_disks_4", pack4.allocate(items)});
-  strategies.push_back({"random (same #disks)", rnd.allocate(items)});
-  strategies.push_back({"first_fit_decreasing", ffd.allocate(items)});
-  core::SeaAllocator sea{0.8};
-  strategies.push_back({"sea_striping", sea.allocate(items)});
-
+  std::vector<sys::ResolvedScenario> resolved;
   std::vector<sys::ExperimentConfig> configs;
-  for (const auto& s : strategies) {
-    sys::ExperimentConfig cfg;
-    cfg.label = s.name;
-    cfg.catalog = &trace.catalog();
-    cfg.mapping = s.assignment.disk_of;
-    cfg.num_disks = std::max(s.assignment.disk_count, a_pack.disk_count);
-    cfg.policy = sys::PolicySpec::fixed(threshold_h * util::kHour);
-    if (lru_gb > 0.0) cfg.cache = sys::CacheSpec::lru(util::gb(lru_gb));
-    cfg.workload = sys::WorkloadSpec::replay(trace);
-    cfg.seed = seed;
-    configs.push_back(std::move(cfg));
+  for (const auto& [name, placement] : strategies) {
+    resolved.push_back(
+        cache.resolve(base.with("placement", placement).with("disks", farm)));
+    configs.push_back(resolved.back().config);
   }
   const auto results = sys::run_sweep(configs);
 
@@ -106,7 +93,7 @@ int main(int argc, char** argv) {
                             "mean resp (s)", "p95 (s)", "spin-ups"}};
   for (std::size_t i = 0; i < strategies.size(); ++i) {
     const auto& r = results[i];
-    table.row(strategies[i].name, strategies[i].assignment.disk_count,
+    table.row(strategies[i].first, resolved[i].config.num_disks,
               util::format_double(r.power.saving_vs_always_on, 3),
               util::format_double(r.power.average_power, 1),
               util::format_double(r.response.mean(), 2),

@@ -1,44 +1,26 @@
 #include "sys/experiment.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "cache/fifo.h"
 #include "cache/lfu.h"
 #include "cache/lru.h"
+#include "sys/spec_grammar.h"
 
 namespace spindown::sys {
 namespace {
 
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::size_t pos = 0;
-  for (;;) {
-    const auto next = s.find(sep, pos);
-    out.push_back(s.substr(pos, next - pos));
-    if (next == std::string::npos) return out;
-    pos = next + 1;
-  }
-}
-
 double parse_number(const std::string& s, const std::string& context) {
-  const auto v = util::parse_finite_double(s);
-  if (!v.has_value()) {
-    throw std::invalid_argument{"WorkloadSpec: bad number '" + s + "' in " +
-                                context};
-  }
-  return *v;
+  return detail::parse_number(s, context, "WorkloadSpec");
 }
 
-/// The "name(a,b,...)" shell shared by every synthetic workload key.
 std::vector<std::string> parse_call(const std::string& name,
                                     const std::string& head) {
-  if (name.size() < head.size() + 2 || name.compare(0, head.size(), head) != 0 ||
-      name[head.size()] != '(' || name.back() != ')') {
-    throw std::invalid_argument{"WorkloadSpec: malformed '" + name + "'"};
-  }
-  return split(name.substr(head.size() + 1, name.size() - head.size() - 2),
-               ',');
+  return detail::parse_call(name, head, "WorkloadSpec");
 }
+
+using detail::split;
 
 } // namespace
 
@@ -50,6 +32,41 @@ std::unique_ptr<cache::FileCache> CacheSpec::make() const {
     case Kind::kLfu: return std::make_unique<cache::LfuCache>(capacity);
   }
   throw std::logic_error{"CacheSpec: unknown kind"};
+}
+
+std::string CacheSpec::spec() const {
+  switch (kind) {
+    case Kind::kNone: return "none";
+    case Kind::kLru: return "lru:" + util::format_bytes_spec(capacity);
+    case Kind::kFifo: return "fifo:" + util::format_bytes_spec(capacity);
+    case Kind::kLfu: return "lfu:" + util::format_bytes_spec(capacity);
+  }
+  throw std::logic_error{"CacheSpec: unknown kind"};
+}
+
+CacheSpec CacheSpec::parse(const std::string& name) {
+  if (name == "none") return none();
+  const auto colon = name.find(':');
+  const std::string head = name.substr(0, colon);
+  Kind kind;
+  if (head == "lru") kind = Kind::kLru;
+  else if (head == "fifo") kind = Kind::kFifo;
+  else if (head == "lfu") kind = Kind::kLfu;
+  else {
+    throw std::invalid_argument{"CacheSpec: unknown cache '" + name +
+                                "' (want none|lru[:cap]|fifo[:cap]|lfu[:cap])"};
+  }
+  CacheSpec spec{kind, util::gb(16.0)};
+  if (colon != std::string::npos) {
+    const std::string arg = name.substr(colon + 1);
+    const auto cap = util::parse_bytes(arg);
+    if (!cap.has_value() || *cap == 0) {
+      throw std::invalid_argument{"CacheSpec: bad capacity '" + arg +
+                                  "' in '" + name + "' (want e.g. 16g, 512m)"};
+    }
+    spec.capacity = *cap;
+  }
+  return spec;
 }
 
 std::unique_ptr<workload::RequestStream> WorkloadSpec::make_stream(
@@ -74,11 +91,20 @@ std::unique_ptr<workload::RequestStream> WorkloadSpec::make_stream(
         throw std::invalid_argument{"WorkloadSpec: trace is required"};
       }
       return std::make_unique<workload::TraceStream>(*trace);
+    case Kind::kReplay:
+      throw std::invalid_argument{
+          "WorkloadSpec: 'replay' must be resolved against a scenario "
+          "catalog that carries a trace (sys::resolve_scenario)"};
   }
   throw std::logic_error{"WorkloadSpec: unknown kind"};
 }
 
 double WorkloadSpec::measurement_horizon() const {
+  if (kind == Kind::kReplay) {
+    throw std::invalid_argument{
+        "WorkloadSpec: 'replay' must be resolved against a scenario "
+        "catalog that carries a trace (sys::resolve_scenario)"};
+  }
   if (kind == Kind::kTrace) {
     if (trace == nullptr) {
       throw std::invalid_argument{"WorkloadSpec: trace is required"};
@@ -88,6 +114,54 @@ double WorkloadSpec::measurement_horizon() const {
     return trace->duration() + 1.0;
   }
   return horizon_s;
+}
+
+WorkloadSpec WorkloadSpec::trace_file(const std::string& stem) {
+  WorkloadSpec w;
+  w.kind = Kind::kTrace;
+  w.owned_trace = workload::Trace::load_shared(stem);
+  w.trace = w.owned_trace.get();
+  w.trace_path = stem;
+  return w;
+}
+
+double WorkloadSpec::mean_rate() const {
+  switch (kind) {
+    case Kind::kPoisson: return rate;
+    case Kind::kNhpp: {
+      // Time-average of the piecewise-constant rate over one period (the
+      // pattern wraps) or over the horizon (last segment holds to the end).
+      const double span = period_s > 0.0 ? period_s : horizon_s;
+      if (segments.empty() || span <= 0.0) return 0.0;
+      double integral = 0.0;
+      for (std::size_t i = 0; i < segments.size(); ++i) {
+        const double start = std::min(segments[i].start, span);
+        const double end =
+            i + 1 < segments.size() ? std::min(segments[i + 1].start, span)
+                                    : span;
+        if (end > start) integral += segments[i].rate * (end - start);
+      }
+      return integral / span;
+    }
+    case Kind::kMmpp: {
+      const double dwell =
+          mmpp_params.mean_dwell[0] + mmpp_params.mean_dwell[1];
+      if (dwell <= 0.0) return 0.0;
+      return (mmpp_params.rate[0] * mmpp_params.mean_dwell[0] +
+              mmpp_params.rate[1] * mmpp_params.mean_dwell[1]) /
+             dwell;
+    }
+    case Kind::kTrace:
+      if (trace == nullptr) {
+        throw std::invalid_argument{"WorkloadSpec: trace is required"};
+      }
+      return static_cast<double>(trace->size()) /
+             std::max(1.0, trace->duration());
+    case Kind::kReplay:
+      throw std::invalid_argument{
+          "WorkloadSpec: 'replay' has no rate until scenario resolution"};
+  }
+  throw std::logic_error{"WorkloadSpec: unknown kind"};
 }
 
 std::string WorkloadSpec::spec() const {
@@ -119,12 +193,23 @@ std::string WorkloadSpec::spec() const {
              util::format_roundtrip(mmpp_params.mean_dwell[0]) + "," +
              util::format_roundtrip(mmpp_params.mean_dwell[1]) + "," +
              util::format_roundtrip(horizon_s) + ")";
-    case Kind::kTrace: return "trace";
+    case Kind::kTrace:
+      return trace_path.empty() ? "trace" : "trace:" + trace_path;
+    case Kind::kReplay: return "replay";
   }
   throw std::logic_error{"WorkloadSpec: unknown kind"};
 }
 
 WorkloadSpec WorkloadSpec::parse(const std::string& name) {
+  if (name == "replay") return replay_catalog();
+  if (name.rfind("trace:", 0) == 0) {
+    const std::string stem = name.substr(6);
+    if (stem.empty()) {
+      throw std::invalid_argument{
+          "WorkloadSpec: trace needs a CSV stem (trace:<path>)"};
+    }
+    return trace_file(stem);
+  }
   if (name.rfind("poisson", 0) == 0) {
     const auto args = parse_call(name, "poisson");
     if (args.size() != 2) {
@@ -170,7 +255,8 @@ WorkloadSpec WorkloadSpec::parse(const std::string& name) {
   }
   throw std::invalid_argument{
       "WorkloadSpec: unknown workload '" + name +
-      "' (want poisson(R,T)|nhpp(t:r;...,T[,P])|mmpp(r0,r1,d0,d1,T))"};
+      "' (want poisson(R,T)|nhpp(t:r;...,T[,P])|mmpp(r0,r1,d0,d1,T)|"
+      "trace:<stem>|replay)"};
 }
 
 RunResult run_experiment(const ExperimentConfig& config) {

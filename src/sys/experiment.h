@@ -24,7 +24,7 @@ namespace spindown::sys {
 /// under them the best threshold moves hour to hour, which a static sweep
 /// cannot follow.
 struct WorkloadSpec {
-  enum class Kind { kPoisson, kTrace, kNhpp, kMmpp };
+  enum class Kind { kPoisson, kTrace, kNhpp, kMmpp, kReplay };
   Kind kind = Kind::kPoisson;
   // Poisson (Table 1): rate R over [0, horizon).
   double rate = 6.0;
@@ -34,8 +34,12 @@ struct WorkloadSpec {
   double period_s = 0.0;
   // kMmpp: 2-state burst model.
   workload::MmppParams mmpp_params;
-  // Trace replay (§5.1): not owned.
+  // Trace replay (§5.1): not owned.  When the spec was parsed from
+  // "trace:<path>" this points into `owned_trace` and `trace_path` names
+  // the CSV stem, so spec() stays parseable.
   const workload::Trace* trace = nullptr;
+  std::shared_ptr<const workload::Trace> owned_trace;
+  std::string trace_path;
 
   static WorkloadSpec poisson(double rate, double horizon_s) {
     WorkloadSpec w;
@@ -48,6 +52,17 @@ struct WorkloadSpec {
     WorkloadSpec w;
     w.kind = Kind::kTrace;
     w.trace = &trace;
+    return w;
+  }
+  /// Load the trace saved at `stem` (Trace::save's two-CSV format) and own
+  /// it: the parseable, value-semantic form of replay().
+  static WorkloadSpec trace_file(const std::string& stem);
+  /// Replay whatever trace the enclosing ScenarioSpec's catalog carries
+  /// (nersc or trace catalogs).  Only runnable after scenario resolution;
+  /// make_stream()/measurement_horizon() throw on an unresolved replay.
+  static WorkloadSpec replay_catalog() {
+    WorkloadSpec w;
+    w.kind = Kind::kReplay;
     return w;
   }
   static WorkloadSpec nhpp(std::vector<workload::RateSegment> segments,
@@ -78,15 +93,25 @@ struct WorkloadSpec {
   /// the trace end lands inside the window).
   double measurement_horizon() const;
 
-  /// Parse a CLI/report key; accepts everything spec() emits except
-  /// "trace" (a trace object cannot be named by a string).  Throws
-  /// std::invalid_argument on anything else.
+  /// Mean arrival rate this spec implies — the R that normalize()'s load
+  /// model needs when a placement is derived from the workload: the Poisson
+  /// rate, the time-average of NHPP segments over the horizon (one period
+  /// when periodic), the MMPP stationary mean, or requests/duration for a
+  /// trace.  Throws on an unresolved kReplay.
+  double mean_rate() const;
+
+  /// Parse a CLI/report key; accepts everything spec() emits except the
+  /// bare "trace" (an injected trace object cannot be named by a string —
+  /// save it and use "trace:<stem>").  Throws std::invalid_argument on
+  /// anything else.
   static WorkloadSpec parse(const std::string& name);
   /// Canonical parseable key — "poisson(6,4000)",
   /// "nhpp(0:8;1200:0.05,8000,2000)" (segments start:rate, horizon,
   /// optional period), "mmpp(8,0.5,120,480,8000)" (rate0, rate1, dwell0,
-  /// dwell1, horizon) — such that parse(spec()) round-trips.  Trace specs
-  /// render as "trace".
+  /// dwell1, horizon), "trace:<stem>" (owned trace loaded from CSV) or
+  /// "replay" (the scenario catalog's trace) — such that parse(spec())
+  /// round-trips.  Only a replay() of an in-memory trace still renders as
+  /// the unparseable "trace".
   std::string spec() const;
 };
 
@@ -106,6 +131,15 @@ struct CacheSpec {
   static CacheSpec lfu(util::Bytes cap = util::gb(16.0)) {
     return CacheSpec{Kind::kLfu, cap};
   }
+
+  /// Parse a CLI/report key; accepts everything spec() emits plus bare
+  /// policy names ("lru" = 16 GB default) and any util::parse_bytes
+  /// capacity suffix ("lru:0.5gb").  Throws std::invalid_argument on
+  /// anything else.
+  static CacheSpec parse(const std::string& name);
+  /// Canonical parseable key — "none", "lru:16g", "fifo:4g", "lfu:16g" —
+  /// such that parse(spec()) round-trips the value.
+  std::string spec() const;
 
   /// nullptr for kNone.
   std::unique_ptr<cache::FileCache> make() const;

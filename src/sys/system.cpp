@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "adapt/idle_predictor.h"
+#include "sys/spec_grammar.h"
 #include "adapt/share.h"
 #include "adapt/slack.h"
 
@@ -24,25 +26,51 @@ std::unique_ptr<disk::IoScheduler> SchedulerSpec::make() const {
 
 std::string SchedulerSpec::name() const { return make()->name(); }
 
+std::string SchedulerSpec::spec() const {
+  switch (kind) {
+    case Kind::kFcfs: return "fcfs";
+    case Kind::kSstf: return "sstf";
+    case Kind::kScan: return "scan";
+    case Kind::kClook: return "clook";
+    case Kind::kBatch: {
+      std::string out = "batch";
+      out += std::to_string(max_batch);
+      if (coalesce_gap_blocks != SchedulerSpec::batch().coalesce_gap_blocks) {
+        out += "x";
+        out += std::to_string(coalesce_gap_blocks);
+      }
+      return out;
+    }
+  }
+  throw std::logic_error{"SchedulerSpec: unknown kind"};
+}
+
 SchedulerSpec SchedulerSpec::parse(const std::string& name) {
   if (name == "fcfs") return fcfs();
   if (name == "sstf") return sstf();
   if (name == "scan") return scan();
   if (name == "clook") return clook();
-  // "batch" or "batchN" (N = max batch size) — the latter is what name()
-  // emits, so labels copied from reports round-trip.
+  // "batch", "batchN" (N = max batch size; what name() emits, so labels
+  // copied from reports round-trip) or "batchNxG" (G = coalesce gap in
+  // blocks; what spec() emits for non-default gaps).
   if (name.rfind("batch", 0) == 0) {
-    const std::string suffix = name.substr(5);
+    std::string suffix = name.substr(5);
     if (suffix.empty()) return batch();
-    const bool numeric = !suffix.empty() &&
-                         suffix.find_first_not_of("0123456789") == std::string::npos;
-    if (numeric) {
-      const unsigned long n = std::stoul(suffix);
-      if (n > 0) return batch(static_cast<std::uint32_t>(n));
+    std::uint64_t gap = SchedulerSpec::batch().coalesce_gap_blocks;
+    if (const auto x = suffix.find('x'); x != std::string::npos) {
+      gap = detail::parse_unsigned(suffix.substr(x + 1), name,
+                                   "SchedulerSpec");
+      suffix = suffix.substr(0, x);
     }
+    const auto n = detail::parse_unsigned(suffix, name, "SchedulerSpec");
+    if (n == 0 || n > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument{
+          "SchedulerSpec: batch size out of range in '" + name + "'"};
+    }
+    return batch(static_cast<std::uint32_t>(n), gap);
   }
   throw std::invalid_argument{"SchedulerSpec: unknown scheduler '" + name +
-                              "' (want fcfs|sstf|scan|clook|batch[N])"};
+                              "' (want fcfs|sstf|scan|clook|batch[N[xG]])"};
 }
 
 std::unique_ptr<disk::SpinDownPolicy> PolicySpec::make(

@@ -42,9 +42,15 @@ struct SchedulerSpec {
                              std::uint64_t gap_blocks = 2048) {
     return SchedulerSpec{Kind::kBatch, max_batch, gap_blocks};
   }
-  /// Parse a CLI name ("fcfs", "sstf", "scan", "clook", "batch"); throws
+  /// Parse a CLI name ("fcfs", "sstf", "scan", "clook", "batch", "batchN",
+  /// "batchNxG" with G the coalesce gap in blocks); throws
   /// std::invalid_argument on anything else.
   static SchedulerSpec parse(const std::string& name);
+
+  /// Canonical parseable key — "fcfs", "sstf", "scan", "clook", "batch16",
+  /// "batch16x4096" when the gap differs from the default — such that
+  /// parse(spec()) round-trips the value.
+  std::string spec() const;
 
   std::unique_ptr<disk::IoScheduler> make() const;
   std::string name() const;

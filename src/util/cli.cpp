@@ -15,15 +15,26 @@ Cli::Cli(int argc, char** argv) {
     arg.erase(0, 2);
     if (const auto eq = arg.find('='); eq != std::string::npos) {
       options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      ordered_options_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
       continue;
     }
     // "--key value" when the next token is not itself an option.
     if (i + 1 < argc && std::string_view{argv[i + 1]}.rfind("--", 0) != 0) {
       options_[arg] = argv[++i];
+      ordered_options_.emplace_back(arg, argv[i]);
     } else {
       options_[arg] = "";
+      ordered_options_.emplace_back(arg, "");
     }
   }
+}
+
+std::vector<std::string> Cli::get_all(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : ordered_options_) {
+    if (key == name) out.push_back(value);
+  }
+  return out;
 }
 
 bool Cli::has(const std::string& name) const {

@@ -20,10 +20,15 @@ public:
   /// True if "--name" appeared (with or without a value).
   bool has(const std::string& name) const;
 
-  /// Value of "--name value" / "--name=value", or fallback.
+  /// Value of "--name value" / "--name=value", or fallback.  A repeated
+  /// option keeps its last value here; get_all() sees every occurrence.
   std::string get(const std::string& name, const std::string& fallback) const;
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
+
+  /// Every value of a repeated option, in command-line order (empty when
+  /// the option never appeared).  Lets sweep axes stack: --sweep a --sweep b.
+  std::vector<std::string> get_all(const std::string& name) const;
 
   const std::vector<std::string>& positionals() const { return positionals_; }
   const std::string& program() const { return program_; }
@@ -31,6 +36,7 @@ public:
 private:
   std::string program_;
   std::map<std::string, std::string> options_;
+  std::vector<std::pair<std::string, std::string>> ordered_options_;
   std::vector<std::string> positionals_;
 };
 

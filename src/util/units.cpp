@@ -1,6 +1,7 @@
 #include "util/units.h"
 
 #include <array>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +40,36 @@ std::optional<double> parse_finite_double(const std::string& s) {
   if (end != s.c_str() + s.size()) return std::nullopt;
   if (!std::isfinite(v)) return std::nullopt;
   return v;
+}
+
+std::optional<Bytes> parse_bytes(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  // Split the trailing alphabetic suffix off the numeric part.
+  std::size_t cut = s.size();
+  while (cut > 0 && std::isalpha(static_cast<unsigned char>(s[cut - 1]))) {
+    --cut;
+  }
+  std::string suffix = s.substr(cut);
+  for (auto& c : suffix) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  double unit = 1.0;
+  if (suffix == "k" || suffix == "kb") unit = static_cast<double>(kKB);
+  else if (suffix == "m" || suffix == "mb") unit = static_cast<double>(kMB);
+  else if (suffix == "g" || suffix == "gb") unit = static_cast<double>(kGB);
+  else if (suffix == "t" || suffix == "tb") unit = static_cast<double>(kTB);
+  else if (!suffix.empty() && suffix != "b") return std::nullopt;
+  const auto v = parse_finite_double(s.substr(0, cut));
+  if (!v.has_value() || *v < 0.0) return std::nullopt;
+  const double bytes = *v * unit;
+  if (bytes > 9.2e18) return std::nullopt; // would overflow Bytes
+  return static_cast<Bytes>(bytes);
+}
+
+std::string format_bytes_spec(Bytes b) {
+  if (b >= kTB && b % kTB == 0) return std::to_string(b / kTB) + "t";
+  if (b >= kGB && b % kGB == 0) return std::to_string(b / kGB) + "g";
+  if (b >= kMB && b % kMB == 0) return std::to_string(b / kMB) + "m";
+  if (b >= kKB && b % kKB == 0) return std::to_string(b / kKB) + "k";
+  return std::to_string(b);
 }
 
 std::string format_bytes(Bytes b) {

@@ -66,4 +66,15 @@ std::string format_roundtrip(double v);
 /// would corrupt the event calendar / hang the arrival loop downstream).
 std::optional<double> parse_finite_double(const std::string& s);
 
+/// Byte count with an optional SI suffix — "16g", "0.5gb", "4096", "100m",
+/// "64kb", "970b" (suffix case-insensitive; 1 k = 1e3 as everywhere in this
+/// tree).  nullopt on garbage, negatives, or non-finite values.  The backend
+/// of CacheSpec/CatalogSpec capacity keys.
+std::optional<Bytes> parse_bytes(const std::string& s);
+
+/// Canonical spec-key rendering of a byte count such that
+/// parse_bytes(format_bytes_spec(b)) == b exactly: the largest SI suffix
+/// that divides b evenly ("16g", "1500m", "970"), plain digits otherwise.
+std::string format_bytes_spec(Bytes b);
+
 } // namespace spindown::util

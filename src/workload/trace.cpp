@@ -92,6 +92,11 @@ Trace Trace::load(const std::filesystem::path& stem) {
   return Trace{FileCatalog{std::move(files)}, std::move(records)};
 }
 
+std::shared_ptr<const Trace> Trace::load_shared(
+    const std::filesystem::path& stem) {
+  return std::make_shared<const Trace>(load(stem));
+}
+
 std::size_t TraceStats::min_disks(util::Bytes disk_capacity) const {
   if (disk_capacity == 0) return 0;
   return static_cast<std::size_t>(

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <filesystem>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -43,6 +44,11 @@ public:
   /// <stem>.trace.csv (time,file).  Throws on I/O failure.
   void save(const std::filesystem::path& stem) const;
   static Trace load(const std::filesystem::path& stem);
+
+  /// load() behind a shared_ptr — the ownership shape value-semantic specs
+  /// need (WorkloadSpec/ScenarioSpec copies share one loaded trace).
+  static std::shared_ptr<const Trace> load_shared(
+      const std::filesystem::path& stem);
 
 private:
   FileCatalog catalog_;

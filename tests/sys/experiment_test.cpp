@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "util/units.h"
 
 namespace spindown::sys {
@@ -25,6 +27,41 @@ TEST(CacheSpec, Factories) {
   EXPECT_EQ(lru->capacity(), util::mb(100.0));
   EXPECT_EQ(CacheSpec::fifo().make()->name(), "fifo");
   EXPECT_EQ(CacheSpec::lfu().make()->name(), "lfu");
+}
+
+TEST(CacheSpec, SpecRoundTripsEveryKind) {
+  const std::vector<std::pair<CacheSpec, std::string>> cases{
+      {CacheSpec::none(), "none"},
+      {CacheSpec::lru(), "lru:16g"},
+      {CacheSpec::fifo(util::gb(4.0)), "fifo:4g"},
+      {CacheSpec::lfu(util::gb(16.0)), "lfu:16g"},
+      {CacheSpec::lru(util::mb(1500.0)), "lru:1500m"},
+      // A capacity with no even SI divisor renders as plain bytes.
+      {CacheSpec::lru(1'234'567), "lru:1234567"},
+  };
+  for (const auto& [spec, key] : cases) {
+    SCOPED_TRACE(key);
+    EXPECT_EQ(spec.spec(), key);
+    const auto parsed = CacheSpec::parse(key);
+    EXPECT_EQ(parsed.kind, spec.kind);
+    EXPECT_EQ(parsed.capacity, spec.capacity);
+    EXPECT_EQ(parsed.spec(), key);
+  }
+}
+
+TEST(CacheSpec, ParseAcceptsSuffixVariantsAndBareNames) {
+  EXPECT_EQ(CacheSpec::parse("lru").capacity, util::gb(16.0)); // §5.1 default
+  EXPECT_EQ(CacheSpec::parse("lru:16gb").capacity, util::gb(16.0));
+  EXPECT_EQ(CacheSpec::parse("fifo:0.5g").capacity, util::mb(500.0));
+  EXPECT_EQ(CacheSpec::parse("lfu:512M").capacity, util::mb(512.0));
+}
+
+TEST(CacheSpec, ParseRejectsGarbage) {
+  EXPECT_THROW(CacheSpec::parse("arc:16g"), std::invalid_argument);
+  EXPECT_THROW(CacheSpec::parse("lru:"), std::invalid_argument);
+  EXPECT_THROW(CacheSpec::parse("lru:0"), std::invalid_argument);
+  EXPECT_THROW(CacheSpec::parse("lru:sixteen"), std::invalid_argument);
+  EXPECT_THROW(CacheSpec::parse("lru:-4g"), std::invalid_argument);
 }
 
 TEST(RunExperiment, RequiresCatalog) {
@@ -170,8 +207,70 @@ TEST(WorkloadSpec, SpecRoundTripsSyntheticKinds) {
   }
 }
 
+TEST(WorkloadSpec, TraceByPathRoundTripsThroughCsv) {
+  const auto cat = small_catalog();
+  const workload::Trace trace{cat, {{1.0, 0}, {2.0, 3}, {50.0, 7}}};
+  const auto stem = (std::filesystem::temp_directory_path() /
+                     "spindown_workload_spec_trace_tmp")
+                        .string();
+  trace.save(stem);
+
+  const auto w = WorkloadSpec::parse("trace:" + stem);
+  EXPECT_EQ(w.kind, WorkloadSpec::Kind::kTrace);
+  EXPECT_EQ(w.spec(), "trace:" + stem);
+  ASSERT_NE(w.trace, nullptr);
+  EXPECT_EQ(w.trace, w.owned_trace.get()); // the spec owns its trace
+  EXPECT_EQ(w.trace->size(), 3u);
+  EXPECT_DOUBLE_EQ(w.measurement_horizon(), trace.duration() + 1.0);
+
+  // Copies share the loaded trace (value semantics, one load).
+  const auto copy = w;
+  EXPECT_EQ(copy.trace, w.trace);
+
+  // And it is runnable end to end, like any other parsed workload.
+  ExperimentConfig cfg;
+  cfg.catalog = &w.trace->catalog();
+  cfg.mapping.assign(8, 0);
+  cfg.num_disks = 1;
+  cfg.workload = w;
+  EXPECT_EQ(run_experiment(cfg).requests, 3u);
+
+  std::filesystem::remove(stem + ".catalog.csv");
+  std::filesystem::remove(stem + ".trace.csv");
+}
+
+TEST(WorkloadSpec, ReplayParsesButNeedsResolution) {
+  const auto w = WorkloadSpec::parse("replay");
+  EXPECT_EQ(w.kind, WorkloadSpec::Kind::kReplay);
+  EXPECT_EQ(w.spec(), "replay");
+  EXPECT_THROW(w.measurement_horizon(), std::invalid_argument);
+  const auto cat = small_catalog();
+  EXPECT_THROW(w.make_stream(cat, 1), std::invalid_argument);
+}
+
+TEST(WorkloadSpec, MeanRateSummarizesEveryKind) {
+  EXPECT_DOUBLE_EQ(WorkloadSpec::poisson(6.0, 4000.0).mean_rate(), 6.0);
+  // NHPP: 8/s for the first quarter, idle after — mean 2/s.
+  EXPECT_DOUBLE_EQ(
+      WorkloadSpec::nhpp({{0.0, 8.0}, {1000.0, 0.0}}, 4000.0).mean_rate(),
+      2.0);
+  // Periodic NHPP averages over one period.
+  EXPECT_DOUBLE_EQ(
+      WorkloadSpec::nhpp({{0.0, 8.0}, {500.0, 0.0}}, 4000.0, 1000.0)
+          .mean_rate(),
+      4.0);
+  // MMPP: stationary mean weighted by dwell times.
+  EXPECT_DOUBLE_EQ(
+      WorkloadSpec::mmpp({{9.0, 1.0}, {100.0, 300.0}}, 4000.0).mean_rate(),
+      3.0);
+  const auto cat = small_catalog();
+  const workload::Trace trace{cat, {{0.0, 0}, {10.0, 1}, {20.0, 2}}};
+  EXPECT_DOUBLE_EQ(WorkloadSpec::replay(trace).mean_rate(), 3.0 / 20.0);
+}
+
 TEST(WorkloadSpec, ParseRejectsGarbageAndTraces) {
   EXPECT_THROW(WorkloadSpec::parse("trace"), std::invalid_argument);
+  EXPECT_THROW(WorkloadSpec::parse("trace:"), std::invalid_argument);
   EXPECT_THROW(WorkloadSpec::parse("poisson(6)"), std::invalid_argument);
   EXPECT_THROW(WorkloadSpec::parse("poisson(6,4000"), std::invalid_argument);
   EXPECT_THROW(WorkloadSpec::parse("nhpp(0-8,100)"), std::invalid_argument);

@@ -1,0 +1,355 @@
+#include "sys/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "core/normalize.h"
+#include "core/pack_disks.h"
+#include "core/pack_grouped.h"
+#include "core/random_alloc.h"
+#include "util/units.h"
+
+namespace spindown::sys {
+namespace {
+
+TEST(CatalogSpec, Table1RoundTrips) {
+  const auto c = CatalogSpec::table1(600, 7);
+  EXPECT_EQ(c.spec(), "table1(600,7)");
+  const auto parsed = CatalogSpec::parse(c.spec());
+  EXPECT_EQ(parsed.kind, CatalogSpec::Kind::kSynthetic);
+  EXPECT_EQ(parsed.synth.n_files, 600u);
+  EXPECT_EQ(parsed.seed, 7u);
+  EXPECT_EQ(parsed.spec(), c.spec());
+}
+
+TEST(CatalogSpec, SynthRoundTripsNonPaperShapes) {
+  workload::SyntheticSpec s = workload::SyntheticSpec::paper_table1();
+  s.n_files = 1000;
+  s.zipf_exponent = 0.75;
+  s.max_size = util::gb(4.0);
+  s.correlation = workload::SizeCorrelation::kIndependent;
+  const auto c = CatalogSpec::synthetic(s, 3);
+  EXPECT_EQ(c.spec(), "synth(1000,0.75,4g,independent,3)");
+  const auto parsed = CatalogSpec::parse(c.spec());
+  EXPECT_EQ(parsed.synth.n_files, 1000u);
+  EXPECT_DOUBLE_EQ(parsed.synth.zipf_exponent, 0.75);
+  EXPECT_EQ(parsed.synth.max_size, util::gb(4.0));
+  EXPECT_EQ(parsed.synth.correlation,
+            workload::SizeCorrelation::kIndependent);
+  EXPECT_EQ(parsed.spec(), c.spec());
+}
+
+TEST(CatalogSpec, NerscRoundTripsWithTrailingOptionals) {
+  workload::NerscSpec n;
+  n.n_files = 2000;
+  n.n_requests = 3000;
+  n.seed = 11;
+  const auto minimal = CatalogSpec::nersc_synth(n);
+  EXPECT_EQ(minimal.spec(), "nersc(2000,3000,11)");
+  EXPECT_EQ(CatalogSpec::parse(minimal.spec()).spec(), minimal.spec());
+
+  n.duration_s = 86400.0;
+  n.batch_fraction = 0.3;
+  n.batch_min = 6;
+  const auto custom = CatalogSpec::nersc_synth(n);
+  EXPECT_EQ(custom.spec(), "nersc(2000,3000,11,86400,0.3,6)");
+  const auto parsed = CatalogSpec::parse(custom.spec());
+  EXPECT_DOUBLE_EQ(parsed.nersc.duration_s, 86400.0);
+  EXPECT_DOUBLE_EQ(parsed.nersc.batch_fraction, 0.3);
+  EXPECT_EQ(parsed.nersc.batch_min, 6u);
+  EXPECT_EQ(parsed.nersc.batch_max, workload::NerscSpec{}.batch_max);
+  EXPECT_EQ(parsed.spec(), custom.spec());
+}
+
+TEST(CatalogSpec, ParseRejectsGarbage) {
+  EXPECT_THROW(CatalogSpec::parse("table1(600)"), std::invalid_argument);
+  EXPECT_THROW(CatalogSpec::parse("table1(x,1)"), std::invalid_argument);
+  EXPECT_THROW(CatalogSpec::parse("synth(10,0,20g,weird,1)"),
+               std::invalid_argument);
+  EXPECT_THROW(CatalogSpec::parse("nersc(10)"), std::invalid_argument);
+  EXPECT_THROW(CatalogSpec::parse("trace:"), std::invalid_argument);
+  EXPECT_THROW(CatalogSpec::parse("magic"), std::invalid_argument);
+}
+
+TEST(PlacementSpec, RoundTripsEveryKind) {
+  const std::vector<std::string> keys{"pack",  "grouped:4", "grouped:8",
+                                      "random", "maid:4",   "sea:0.8",
+                                      "seg:2",  "ffd"};
+  for (const auto& key : keys) {
+    SCOPED_TRACE(key);
+    EXPECT_EQ(PlacementSpec::parse(key).spec(), key);
+  }
+  // Bare names take the documented defaults.
+  EXPECT_EQ(PlacementSpec::parse("grouped").group_size, 4u);
+  EXPECT_EQ(PlacementSpec::parse("maid").cache_disks, 4u);
+  EXPECT_DOUBLE_EQ(PlacementSpec::parse("sea").hot_load_share, 0.8);
+}
+
+TEST(PlacementSpec, ParseRejectsGarbage) {
+  EXPECT_THROW(PlacementSpec::parse("stack"), std::invalid_argument);
+  EXPECT_THROW(PlacementSpec::parse("grouped:0"), std::invalid_argument);
+  EXPECT_THROW(PlacementSpec::parse("grouped:x"), std::invalid_argument);
+  EXPECT_THROW(PlacementSpec::parse("sea:0"), std::invalid_argument);
+  EXPECT_THROW(PlacementSpec::parse("sea:1.5"), std::invalid_argument);
+  // Argument-less kinds reject stray arguments ("pack:4" is almost
+  // certainly a mistyped "grouped:4", not plain pack).
+  EXPECT_THROW(PlacementSpec::parse("pack:4"), std::invalid_argument);
+  EXPECT_THROW(PlacementSpec::parse("random:7"), std::invalid_argument);
+  EXPECT_THROW(PlacementSpec::parse("ffd:3"), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, DefaultsRoundTrip) {
+  const ScenarioSpec s;
+  const auto parsed = ScenarioSpec::parse(s.spec());
+  EXPECT_EQ(parsed, s);
+  EXPECT_EQ(parsed.spec(), s.spec());
+}
+
+TEST(ScenarioSpec, FullStringParsesAndCanonicalizes) {
+  const auto s = ScenarioSpec::parse(
+      "catalog=table1(600,7) placement=grouped:4 load=0.9 disks=40 "
+      "policy=fixed:10 sched=batch8 cache=lru:30g "
+      "workload=poisson(1.2,800) seed=42 label=golden");
+  EXPECT_EQ(s.catalog.synth.n_files, 600u);
+  EXPECT_EQ(s.placement.kind, PlacementSpec::Kind::kGrouped);
+  EXPECT_DOUBLE_EQ(s.load_fraction, 0.9);
+  EXPECT_EQ(s.disks, 40u);
+  EXPECT_EQ(s.policy.kind, PolicySpec::Kind::kFixed);
+  EXPECT_EQ(s.scheduler.kind, SchedulerSpec::Kind::kBatch);
+  EXPECT_EQ(s.scheduler.max_batch, 8u);
+  EXPECT_EQ(s.cache.kind, CacheSpec::Kind::kLru);
+  EXPECT_EQ(s.cache.capacity, util::gb(30.0));
+  EXPECT_EQ(s.workload.kind, WorkloadSpec::Kind::kPoisson);
+  EXPECT_EQ(s.seed, 42u);
+  EXPECT_EQ(s.label, "golden");
+  // Canonical emission is order-normalized and fully explicit.
+  EXPECT_EQ(s.spec(),
+            "label=golden catalog=table1(600,7) placement=grouped:4 "
+            "load=0.9 disks=40 policy=fixed:10 sched=batch8 cache=lru:30g "
+            "workload=poisson(1.2,800) seed=42");
+  EXPECT_EQ(ScenarioSpec::parse(s.spec()), s);
+}
+
+TEST(ScenarioSpec, ParseRejectsBadInput) {
+  EXPECT_THROW(ScenarioSpec::parse(""), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("catalog"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("warp=9"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("load=0"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("load=1.5"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("disks=many"), std::invalid_argument);
+  // Overflowing counts stay inside the documented std::invalid_argument
+  // contract instead of leaking std::out_of_range from std::stoull.
+  EXPECT_THROW(ScenarioSpec::parse("seed=99999999999999999999999"),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("sched=batch99999999999999999999999"),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("catalog=table1(600,-1)"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpec, WithReassignsOneKey) {
+  const ScenarioSpec base;
+  const auto swept = base.with("policy", "fixed:60");
+  EXPECT_EQ(swept.policy.kind, PolicySpec::Kind::kFixed);
+  EXPECT_DOUBLE_EQ(swept.policy.fixed_threshold_s, 60.0);
+  EXPECT_EQ(base.policy.kind, PolicySpec::Kind::kBreakEven); // base untouched
+  EXPECT_THROW(base.with("nope", "1"), std::invalid_argument);
+}
+
+// --- resolution -----------------------------------------------------------
+
+ScenarioSpec small_packed_scenario() {
+  ScenarioSpec s;
+  s.catalog = CatalogSpec::table1(300, 5);
+  s.placement = PlacementSpec::pack();
+  s.load_fraction = 0.8;
+  s.workload = WorkloadSpec::poisson(1.5, 400.0);
+  s.seed = 9;
+  return s;
+}
+
+TEST(ScenarioResolve, PackMatchesHandBuiltConfig) {
+  const auto s = small_packed_scenario();
+  const auto resolved = resolve_scenario(s);
+
+  // Hand-built equivalent, the way the benches did it before ScenarioSpec.
+  workload::SyntheticSpec spec = workload::SyntheticSpec::paper_table1();
+  spec.n_files = 300;
+  util::Rng rng{5};
+  const auto cat = workload::generate_catalog(spec, rng);
+  core::LoadModel model;
+  model.rate = 1.5;
+  model.load_fraction = 0.8;
+  core::PackDisks pack;
+  const auto a = pack.allocate(core::normalize(cat, model));
+
+  EXPECT_EQ(resolved.config.mapping, a.disk_of);
+  EXPECT_EQ(resolved.config.num_disks, a.disk_count);
+  EXPECT_EQ(resolved.catalog->size(), cat.size());
+  EXPECT_EQ(resolved.config.catalog, resolved.catalog.get());
+  EXPECT_EQ(resolved.trace, nullptr);
+}
+
+TEST(ScenarioResolve, DisksFloorGrowsTheFarm) {
+  auto s = small_packed_scenario();
+  const auto tight = resolve_scenario(s);
+  s.disks = tight.config.num_disks + 20;
+  const auto grown = resolve_scenario(s);
+  EXPECT_EQ(grown.config.num_disks, tight.config.num_disks + 20);
+  EXPECT_EQ(grown.config.mapping, tight.config.mapping);
+}
+
+TEST(ScenarioResolve, RandomWithPinnedFarmMatchesRandomAllocator) {
+  auto s = small_packed_scenario();
+  s.placement = PlacementSpec::random();
+  s.disks = 25;
+  const auto resolved = resolve_scenario(s);
+
+  workload::SyntheticSpec spec = workload::SyntheticSpec::paper_table1();
+  spec.n_files = 300;
+  util::Rng rng{5};
+  const auto cat = workload::generate_catalog(spec, rng);
+  core::LoadModel model;
+  model.rate = 1.5;
+  model.load_fraction = 1.0; // random normalizes leniently
+  core::RandomAllocator rnd{25, 9};
+  const auto a = rnd.allocate(core::normalize(cat, model));
+  EXPECT_EQ(resolved.config.mapping, a.disk_of);
+  EXPECT_EQ(resolved.config.num_disks, 25u);
+}
+
+TEST(ScenarioResolve, RandomWithoutFarmUsesPackDisksCount) {
+  auto s = small_packed_scenario();
+  const auto packed = resolve_scenario(s);
+  s.placement = PlacementSpec::random();
+  s.disks = 0;
+  const auto resolved = resolve_scenario(s);
+  EXPECT_EQ(resolved.config.num_disks, packed.config.num_disks);
+}
+
+TEST(ScenarioResolve, NerscCatalogCarriesReplayableTrace) {
+  ScenarioSpec s;
+  workload::NerscSpec n;
+  n.n_files = 400;
+  n.n_requests = 700;
+  n.duration_s = 4.0 * util::kDay;
+  n.seed = 2;
+  s.catalog = CatalogSpec::nersc_synth(n);
+  s.workload = WorkloadSpec::replay_catalog();
+  const auto resolved = resolve_scenario(s);
+  ASSERT_NE(resolved.trace, nullptr);
+  EXPECT_EQ(resolved.trace->size(), 700u);
+  EXPECT_EQ(resolved.config.workload.kind, WorkloadSpec::Kind::kTrace);
+  EXPECT_EQ(resolved.config.workload.trace, resolved.trace.get());
+  EXPECT_EQ(resolved.config.catalog, &resolved.trace->catalog());
+}
+
+TEST(ScenarioResolve, ReplayWithoutTraceCatalogThrows) {
+  auto s = small_packed_scenario();
+  s.workload = WorkloadSpec::replay_catalog();
+  EXPECT_THROW(resolve_scenario(s), std::invalid_argument);
+}
+
+TEST(ScenarioResolve, MaidNeedsAnExplicitFarmAndPinsCacheDisks) {
+  auto s = small_packed_scenario();
+  s.placement = PlacementSpec::maid(2);
+  EXPECT_THROW(resolve_scenario(s), std::invalid_argument); // disks = 0
+  s.disks = 12;
+  const auto resolved = resolve_scenario(s);
+  ASSERT_EQ(resolved.config.policy_overrides.size(), 2u);
+  EXPECT_EQ(resolved.config.policy_overrides[0].first, 0u);
+  EXPECT_EQ(resolved.config.policy_overrides[0].second.kind,
+            PolicySpec::Kind::kNever);
+}
+
+TEST(ScenarioResolve, InjectedRawTraceIsRejected) {
+  // A replay() of an in-memory trace has no name; resolution must refuse
+  // rather than silently replaying against an unrelated catalog.
+  std::vector<workload::FileInfo> files(2);
+  files[0] = {0, util::mb(10.0), 0.5};
+  files[1] = {1, util::mb(10.0), 0.5};
+  const workload::Trace trace{workload::FileCatalog{files}, {{1.0, 0}}};
+  auto s = small_packed_scenario();
+  s.workload = WorkloadSpec::replay(trace);
+  EXPECT_THROW(resolve_scenario(s), std::invalid_argument);
+}
+
+TEST(ScenarioCacheTest, MemoizesCatalogAndMappingAcrossASweep) {
+  ScenarioCache cache;
+  const auto base = small_packed_scenario();
+  const auto a = cache.resolve(base);
+  const auto b = cache.resolve(base.with("policy", "fixed:60"));
+  const auto c = cache.resolve(base.with("seed", "77"));
+  // One catalog object serves the whole grid...
+  EXPECT_EQ(a.catalog.get(), b.catalog.get());
+  EXPECT_EQ(a.catalog.get(), c.catalog.get());
+  // ...and the mapping is identical (seed does not re-pack a deterministic
+  // allocator).
+  EXPECT_EQ(a.config.mapping, b.config.mapping);
+  EXPECT_EQ(a.config.mapping, c.config.mapping);
+  // A different load really does re-pack (a laxer constraint packs at
+  // least as tight).
+  const auto d = cache.resolve(base.with("load", "0.95"));
+  EXPECT_LE(d.config.num_disks, a.config.num_disks);
+}
+
+TEST(ScenarioCacheTest, ProgrammaticParamsOverridesDoNotShareMappings) {
+  // `params` is outside the string grammar but inside the memo key: halving
+  // the disk capacity must not reuse the full-capacity packing.
+  ScenarioCache cache;
+  const auto base = small_packed_scenario();
+  auto half = base;
+  half.params.capacity /= 2;
+  const auto full_cap = cache.resolve(base);
+  const auto half_cap = cache.resolve(half);
+  EXPECT_GT(half_cap.config.num_disks, full_cap.config.num_disks);
+  EXPECT_NE(half_cap.config.mapping, full_cap.config.mapping);
+}
+
+TEST(ScenarioCacheTest, NonGrammarNerscFieldsDoNotShareCatalogs) {
+  // Programmatic NerscSpec overrides the grammar cannot name (e.g. the
+  // diurnal flag) must produce distinct traces, not a stale cache hit.
+  workload::NerscSpec n;
+  n.n_files = 300;
+  n.n_requests = 500;
+  n.duration_s = 2.0 * util::kDay;
+  ScenarioSpec s;
+  s.catalog = CatalogSpec::nersc_synth(n);
+  s.workload = WorkloadSpec::replay_catalog();
+  auto flat = s;
+  flat.catalog.nersc.diurnal = false;
+  ScenarioCache cache;
+  const auto a = cache.resolve(s);
+  const auto b = cache.resolve(flat);
+  EXPECT_NE(a.trace.get(), b.trace.get());
+}
+
+TEST(ScenarioRun, SweepMatchesIndividualRuns) {
+  const auto base = small_packed_scenario();
+  const std::vector<ScenarioSpec> specs{
+      base, base.with("policy", "fixed:10"), base.with("cache", "lru:5g")};
+  const auto swept = run_scenarios(specs, 2);
+  ASSERT_EQ(swept.size(), 3u);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(i);
+    const auto solo = run_scenario(specs[i]);
+    EXPECT_EQ(swept[i].requests, solo.requests);
+    EXPECT_DOUBLE_EQ(swept[i].power.energy, solo.power.energy);
+    EXPECT_DOUBLE_EQ(swept[i].response.mean(), solo.response.mean());
+  }
+}
+
+TEST(ScenarioJson, EmitsOneFlatParseableObject) {
+  const auto result = run_scenario(small_packed_scenario());
+  const auto json = to_json(small_packed_scenario(), result);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"scenario\": \"catalog=table1(300,5)"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"energy_j\": "), std::string::npos);
+  EXPECT_NE(json.find("\"resp_p99_s\": "), std::string::npos);
+  // No nested objects and balanced quoting: a cheap well-formedness check.
+  EXPECT_EQ(json.find('{', 1), std::string::npos);
+}
+
+} // namespace
+} // namespace spindown::sys

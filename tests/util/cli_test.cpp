@@ -57,5 +57,17 @@ TEST(Cli, ProgramName) {
   EXPECT_EQ(cli.program(), "myprog");
 }
 
+TEST(Cli, GetAllCollectsRepeatedOptionsInOrder) {
+  const auto cli = make_cli({"prog", "--sweep", "policy=a,b", "--seed", "3",
+                             "--sweep=seed=1,2"});
+  const auto sweeps = cli.get_all("sweep");
+  ASSERT_EQ(sweeps.size(), 2u);
+  EXPECT_EQ(sweeps[0], "policy=a,b");
+  EXPECT_EQ(sweeps[1], "seed=1,2");
+  // get() keeps its last-wins behavior; absent options yield empty.
+  EXPECT_EQ(cli.get("sweep", ""), "seed=1,2");
+  EXPECT_TRUE(cli.get_all("missing").empty());
+}
+
 } // namespace
 } // namespace spindown::util

@@ -52,6 +52,37 @@ TEST(Units, FormatRoundtripIsShortAndExact) {
   }
 }
 
+TEST(Units, ParseBytesAcceptsSiSuffixes) {
+  EXPECT_EQ(parse_bytes("16g"), gb(16.0));
+  EXPECT_EQ(parse_bytes("16GB"), gb(16.0));
+  EXPECT_EQ(parse_bytes("0.5g"), mb(500.0));
+  EXPECT_EQ(parse_bytes("512m"), mb(512.0));
+  EXPECT_EQ(parse_bytes("64kb"), Bytes{64'000});
+  EXPECT_EQ(parse_bytes("2t"), tb(2.0));
+  EXPECT_EQ(parse_bytes("970"), Bytes{970});
+  EXPECT_EQ(parse_bytes("970b"), Bytes{970});
+  EXPECT_FALSE(parse_bytes("").has_value());
+  EXPECT_FALSE(parse_bytes("g").has_value());
+  EXPECT_FALSE(parse_bytes("16x").has_value());
+  EXPECT_FALSE(parse_bytes("-4g").has_value());
+  EXPECT_FALSE(parse_bytes("nan").has_value());
+  EXPECT_FALSE(parse_bytes("1e30g").has_value()); // overflows Bytes
+}
+
+TEST(Units, FormatBytesSpecRoundTripsExactly) {
+  EXPECT_EQ(format_bytes_spec(gb(16.0)), "16g");
+  EXPECT_EQ(format_bytes_spec(mb(1500.0)), "1500m");
+  EXPECT_EQ(format_bytes_spec(tb(2.0)), "2t");
+  EXPECT_EQ(format_bytes_spec(Bytes{64'000}), "64k");
+  EXPECT_EQ(format_bytes_spec(Bytes{1'234'567}), "1234567");
+  for (const Bytes b : {Bytes{0}, Bytes{970}, mb(0.5), gb(16.0), tb(12.86),
+                        Bytes{999'999'999}}) {
+    const auto back = parse_bytes(format_bytes_spec(b));
+    ASSERT_TRUE(back.has_value()) << format_bytes_spec(b);
+    EXPECT_EQ(*back, b) << format_bytes_spec(b);
+  }
+}
+
 TEST(Units, ParseFiniteDoubleIsStrict) {
   ASSERT_TRUE(parse_finite_double("3.5").has_value());
   EXPECT_DOUBLE_EQ(*parse_finite_double("3.5"), 3.5);
