@@ -176,8 +176,8 @@ int main(int argc, char** argv) {
             << "/disk, shoulder ~65 s, night ~"
             << util::format_seconds(static_cast<double>(farm) / night_rate)
             << " (break-even " << util::format_seconds(B) << ")\n"
-            << "horizon " << util::format_seconds(horizon) << ", slack SLO p99 < "
-            << util::format_seconds(slo) << "\n\n";
+            << "horizon " << util::format_seconds(horizon)
+            << ", slack SLO p99 < " << util::format_seconds(slo) << "\n\n";
 
   const auto all_results = sys::run_sweep(configs, threads);
 
@@ -224,7 +224,9 @@ int main(int argc, char** argv) {
     std::size_t best = 0;
     bool have_best = false;
     for (std::size_t i = 0; i < fixed_grid.size(); ++i) {
-      if (fixed_results[i].response.mean() > be.response.mean() * 1.02) continue;
+      if (fixed_results[i].response.mean() > be.response.mean() * 1.02) {
+        continue;
+      }
       if (!have_best ||
           total_energy(fixed_results[i]) < total_energy(fixed_results[best])) {
         best = i;

@@ -90,7 +90,8 @@ int main(int argc, char** argv) {
   // the standard per-gap computation on a fresh single-system run instead.
   // For the table we report energy ratios against the best measured policy
   // and the analytic floor (all idle time at standby power).
-  const double analytic_floor = busy_energy + idle_time_total * params.standby_w;
+  const double analytic_floor =
+      busy_energy + idle_time_total * params.standby_w;
 
   auto csv = opts.csv();
   if (csv) csv->write_row({"study", "name", "metric", "value"});

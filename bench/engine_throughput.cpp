@@ -362,7 +362,8 @@ struct Comparison {
 
 void print(const Comparison& c) {
   std::cout << c.name << ":\n"
-            << "  pooled : " << static_cast<std::uint64_t>(c.pooled.events_per_sec())
+            << "  pooled : "
+            << static_cast<std::uint64_t>(c.pooled.events_per_sec())
             << " events/s";
   if (c.pooled.cancels > 0) {
     std::cout << ", " << static_cast<std::uint64_t>(c.pooled.cancels_per_sec())
@@ -370,7 +371,8 @@ void print(const Comparison& c) {
   }
   std::cout << "  (" << c.pooled.events << " events in " << c.pooled.wall_s
             << " s)\n"
-            << "  legacy : " << static_cast<std::uint64_t>(c.legacy.events_per_sec())
+            << "  legacy : "
+            << static_cast<std::uint64_t>(c.legacy.events_per_sec())
             << " events/s";
   if (c.legacy.cancels > 0) {
     std::cout << ", " << static_cast<std::uint64_t>(c.legacy.cancels_per_sec())
@@ -439,8 +441,9 @@ int main(int argc, char** argv) {
   std::vector<Comparison> all;
 
   Comparison sched{"schedule_heavy", {}, {}};
-  sched.pooled = best_of<des::Simulation>(
-      reps, [&] { return schedule_heavy<des::Simulation>(sched_events, seed); });
+  sched.pooled = best_of<des::Simulation>(reps, [&] {
+    return schedule_heavy<des::Simulation>(sched_events, seed);
+  });
   sched.legacy = best_of<legacy::Simulation>(reps, [&] {
     return schedule_heavy<legacy::Simulation>(sched_events, seed);
   });

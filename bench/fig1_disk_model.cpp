@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
   table.row("transfer rate",
             util::format_double(p.transfer_bps / 1e6, 1) + " MB/s", "72 MB/s");
   table.row("idle power", util::format_double(p.idle_w, 2) + " W", "9.3 W");
-  table.row("standby power", util::format_double(p.standby_w, 2) + " W", "0.8 W");
+  table.row("standby power", util::format_double(p.standby_w, 2) + " W",
+            "0.8 W");
   table.row("active power", util::format_double(p.active_w, 2) + " W", "13 W");
   table.row("seek power", util::format_double(p.seek_w, 2) + " W", "12.6 W");
   table.row("spin-up", util::format_seconds(p.spinup_s) + " @ " +
@@ -45,7 +46,8 @@ int main(int argc, char** argv) {
   // Validate the state machine energetics with a micro-simulation: one
   // request, long idle gap, spin-down, second request (spin-up + service).
   des::Simulation sim;
-  disk::Disk d{sim, 0, p, disk::make_break_even_policy(p), util::Rng{opts.seed}};
+  disk::Disk d{sim, 0, p, disk::make_break_even_policy(p),
+               util::Rng{opts.seed}};
   const util::Bytes file = util::mb(100.0);
   sim.schedule_at(0.0, [&] { d.submit(0, file); });
   const double t2 = 400.0; // well past threshold + spin-down
@@ -56,7 +58,8 @@ int main(int argc, char** argv) {
   // Full episode: service, idle-out, spin-down, standby until t2, spin-up,
   // service, idle-out again, final spin-down (the simulation ends there).
   const double service = p.service_time(file);
-  const double standby = t2 - (service + p.break_even_threshold() + p.spindown_s);
+  const double standby =
+      t2 - (service + p.break_even_threshold() + p.spindown_s);
   const double expected_energy =
       2 * (p.position_time() * p.seek_w + p.transfer_time(file) * p.active_w) +
       2 * p.break_even_threshold() * p.idle_w +
@@ -66,8 +69,8 @@ int main(int argc, char** argv) {
   std::cout << "\nround-trip validation:\n";
   std::cout << "  simulated energy : " << util::format_double(m.energy(p), 3)
             << " J\n";
-  std::cout << "  closed-form      : " << util::format_double(expected_energy, 3)
-            << " J\n";
+  std::cout << "  closed-form      : "
+            << util::format_double(expected_energy, 3) << " J\n";
   std::cout << "  spin-downs/ups   : " << m.spin_downs << "/" << m.spin_ups
             << " (expected 2/1)\n";
 
@@ -81,6 +84,7 @@ int main(int argc, char** argv) {
 
   const bool ok = std::abs(m.energy(p) - expected_energy) < 1e-6 &&
                   m.spin_downs == 2 && m.spin_ups == 1;
-  std::cout << (ok ? "\nPASS" : "\nFAIL") << ": state machine matches Figure 1\n";
+  std::cout << (ok ? "\nPASS" : "\nFAIL")
+            << ": state machine matches Figure 1\n";
   return ok ? 0 : 1;
 }

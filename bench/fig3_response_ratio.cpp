@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
     table.add_row(row);
   }
   table.print(std::cout);
-  std::cout << "\n(paper shape: ratio roughly within 0.5-2.5 across the grid)\n";
+  std::cout
+      << "\n(paper shape: ratio roughly within 0.5-2.5 across the grid)\n";
   return 0;
 }

@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
 
   // ---- [1] size segregation --------------------------------------------
   {
-    std::cout << "[1] size-class segregation (Table 1 workload, R=2, L=0.7)\n\n";
+    std::cout
+        << "[1] size-class segregation (Table 1 workload, R=2, L=0.7)\n\n";
     const auto catalog = bench::table1_catalog(opts.seed, 20'000);
     core::LoadModel model;
     model.rate = 2.0;
@@ -85,10 +86,10 @@ int main(int argc, char** argv) {
 
     util::TablePrinter table{{"system", "disks", "saving", "mean resp (s)",
                               "p95 (s)", "spin-ups"}};
+    using PolicyOverrides =
+        std::vector<std::pair<std::uint32_t, sys::PolicySpec>>;
     auto run_mapping = [&](std::vector<std::uint32_t> mapping,
-                           std::uint32_t n_disks,
-                           std::vector<std::pair<std::uint32_t, sys::PolicySpec>>
-                               overrides) {
+                           std::uint32_t n_disks, PolicyOverrides overrides) {
       sys::ExperimentConfig cfg;
       cfg.catalog = &catalog;
       cfg.mapping = std::move(mapping);
@@ -122,7 +123,8 @@ int main(int argc, char** argv) {
               << util::format_double(100.0 * maid.cached_popularity, 1)
               << "% of requests; Pack_Disks needs no replicas)\n\n";
     if (csv) {
-      csv->row("maid", "pack_disks", "saving", r_pack.power.saving_vs_always_on);
+      csv->row("maid", "pack_disks", "saving",
+               r_pack.power.saving_vs_always_on);
       csv->row("maid", "maid", "saving", r_maid.power.saving_vs_always_on);
     }
   }

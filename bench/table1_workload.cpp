@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
   util::TablePrinter table{{"parameter", "generated", "paper (Table 1)"}};
   table.row("n (files)", catalog.size(), "40000");
   table.row("theta = log0.6/log0.4", util::format_double(theta, 4), "~0.5575");
-  table.row("popularity exponent (1-theta)", util::format_double(1.0 - theta, 4),
-            "~0.4425");
+  table.row("popularity exponent (1-theta)",
+            util::format_double(1.0 - theta, 4), "~0.4425");
   table.row("sum of p_i", util::format_double(pop_sum, 6), "1");
   table.row("min file size", util::format_bytes(catalog.min_size()), "188 MB");
   table.row("max file size", util::format_bytes(catalog.max_size()), "20 GB");

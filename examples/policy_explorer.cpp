@@ -98,8 +98,9 @@ util::Joules run_policy(const disk::DiskParams& params,
   spin_downs = m.spin_downs;
   mean_resp = served > 0 ? total_resp / static_cast<double>(served) : 0.0;
   // Subtract the service energy (identical across policies).
-  const double busy = m.time_in(disk::PowerState::kPositioning) * params.seek_w +
-                      m.time_in(disk::PowerState::kTransfer) * params.active_w;
+  const double busy =
+      m.time_in(disk::PowerState::kPositioning) * params.seek_w +
+      m.time_in(disk::PowerState::kTransfer) * params.active_w;
   return m.energy(params) - busy;
 }
 
@@ -120,7 +121,8 @@ int main(int argc, char** argv) {
   const double mean_gap = cli.get_double("mean-gap", 60.0);
   const std::string dist = cli.get("dist", "exp");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  const auto scheduler = sys::SchedulerSpec::parse(cli.get("scheduler", "fcfs"));
+  const auto scheduler =
+      sys::SchedulerSpec::parse(cli.get("scheduler", "fcfs"));
 
   const auto params = disk::DiskParams::st3500630as();
   util::Rng rng{seed};

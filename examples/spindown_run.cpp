@@ -30,7 +30,8 @@ void print_usage(const std::string& program) {
       << "options:\n"
       << "  --scenario <spec>  the experiment (required); keys:\n"
       << "      catalog=table1(n,seed)|synth(n,zipf,max,corr,seed)\n"
-      << "              |nersc(files,requests,seed[,dur[,bfrac[,bmin[,bmax]]]])\n"
+      << "              |nersc(files,requests,seed"
+         "[,dur[,bfrac[,bmin[,bmax]]]])\n"
       << "              |trace:<stem>\n"
       << "      placement=pack|grouped:k|random|maid:c|sea:h|seg:k|ffd\n"
       << "      load=<(0,1]>    disks=<farm floor; 0 = allocator decides>\n"

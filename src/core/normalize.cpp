@@ -12,12 +12,15 @@ double LoadModel::mu(util::Bytes bytes) const {
 
 std::vector<Item> normalize(const workload::FileCatalog& catalog,
                             const LoadModel& model) {
-  if (model.rate <= 0.0) throw std::invalid_argument{"LoadModel: rate must be > 0"};
+  if (model.rate <= 0.0) {
+    throw std::invalid_argument{"LoadModel: rate must be > 0"};
+  }
   if (model.load_fraction <= 0.0 || model.load_fraction > 1.0) {
     throw std::invalid_argument{"LoadModel: load_fraction must be in (0, 1]"};
   }
   if (model.capacity_fraction <= 0.0 || model.capacity_fraction > 1.0) {
-    throw std::invalid_argument{"LoadModel: capacity_fraction must be in (0, 1]"};
+    throw std::invalid_argument{
+        "LoadModel: capacity_fraction must be in (0, 1]"};
   }
   const double usable_bytes =
       model.capacity_fraction * static_cast<double>(model.disk.capacity);

@@ -70,7 +70,9 @@ Assignment allocate_audited(std::span<const Item> items, AuditReport& report) {
     if (L > 1.0 + kEps) fail("load total exceeded 1 on an open disk");
   };
 
-  auto complete = [&] { return S >= threshold - kEps && L >= threshold - kEps; };
+  auto complete = [&] {
+    return S >= threshold - kEps && L >= threshold - kEps;
+  };
 
   auto close_disk = [&](bool must_be_complete) {
     if (must_be_complete && !complete()) {

@@ -77,8 +77,12 @@ private:
   }
 
   void close_disk() {
-    for (auto idx : disk_.s_list) assignment_.disk_of[idx] = assignment_.disk_count;
-    for (auto idx : disk_.l_list) assignment_.disk_of[idx] = assignment_.disk_count;
+    for (auto idx : disk_.s_list) {
+      assignment_.disk_of[idx] = assignment_.disk_count;
+    }
+    for (auto idx : disk_.l_list) {
+      assignment_.disk_of[idx] = assignment_.disk_count;
+    }
     ++assignment_.disk_count;
     disk_ = OpenDisk{};
   }

@@ -32,7 +32,9 @@ Assignment SegregatedPackDisks::allocate(std::span<const Item> items) {
   }
   std::stable_sort(order.begin(), order.end(),
                    [&](std::uint32_t a, std::uint32_t b) {
-                     if (items[a].s != items[b].s) return items[a].s < items[b].s;
+                     if (items[a].s != items[b].s) {
+                       return items[a].s < items[b].s;
+                     }
                      return items[a].index < items[b].index;
                    });
 

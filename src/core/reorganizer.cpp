@@ -30,8 +30,12 @@ Assignment relabel_for_overlap(const Assignment& current,
     edges.emplace_back(bytes, key.first, key.second);
   }
   std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
-    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) > std::get<0>(b);
-    if (std::get<1>(a) != std::get<1>(b)) return std::get<1>(a) < std::get<1>(b);
+    if (std::get<0>(a) != std::get<0>(b)) {
+      return std::get<0>(a) > std::get<0>(b);
+    }
+    if (std::get<1>(a) != std::get<1>(b)) {
+      return std::get<1>(a) < std::get<1>(b);
+    }
     return std::get<2>(a) < std::get<2>(b);
   });
 

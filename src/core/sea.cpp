@@ -10,7 +10,8 @@ namespace spindown::core {
 SeaAllocator::SeaAllocator(double hot_load_share)
     : hot_load_share_(hot_load_share) {
   if (hot_load_share <= 0.0 || hot_load_share > 1.0) {
-    throw std::invalid_argument{"SeaAllocator: hot_load_share must be in (0,1]"};
+    throw std::invalid_argument{
+        "SeaAllocator: hot_load_share must be in (0,1]"};
   }
 }
 
@@ -32,7 +33,9 @@ Assignment SeaAllocator::allocate(std::span<const Item> items) {
   }
   std::stable_sort(order.begin(), order.end(),
                    [&](std::uint32_t a, std::uint32_t b) {
-                     if (items[a].l != items[b].l) return items[a].l > items[b].l;
+                     if (items[a].l != items[b].l) {
+                       return items[a].l > items[b].l;
+                     }
                      return a < b;
                    });
 

@@ -5,7 +5,9 @@
 namespace spindown::des {
 
 Resource::Resource(std::size_t capacity) : capacity_(capacity) {
-  if (capacity == 0) throw std::invalid_argument{"Resource capacity must be > 0"};
+  if (capacity == 0) {
+    throw std::invalid_argument{"Resource capacity must be > 0"};
+  }
 }
 
 void Resource::enqueue(Simulation& sim, Callback fn) {

@@ -16,7 +16,10 @@ util::Joules DiskMetrics::energy(const DiskParams& p) const {
 Disk::Disk(des::Simulation& sim, std::uint32_t id, DiskParams params,
            std::unique_ptr<SpinDownPolicy> policy, util::Rng rng,
            std::unique_ptr<IoScheduler> scheduler)
-    : sim_(sim), id_(id), params_(std::move(params)), policy_(std::move(policy)),
+    : sim_(sim),
+      id_(id),
+      params_(std::move(params)),
+      policy_(std::move(policy)),
       rng_(rng),
       scheduler_(scheduler ? std::move(scheduler) : make_fcfs_scheduler()),
       ledger_(PowerState::kIdle, sim.now()), idle_since_(sim.now()) {

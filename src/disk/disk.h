@@ -115,7 +115,9 @@ public:
   void submit(std::uint64_t request_id, util::Bytes bytes,
               std::uint64_t lba = 0, std::uint64_t blocks = 0);
 
-  void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
+  void set_completion_callback(CompletionCallback cb) {
+    on_complete_ = std::move(cb);
+  }
 
   std::uint32_t id() const { return id_; }
   const DiskParams& params() const { return params_; }

@@ -109,7 +109,8 @@ void ScanScheduler::pop_batch(std::uint64_t head_lba, std::vector<IoJob>& out) {
   assert(false && "unreachable: a non-empty pool always matches one sweep");
 }
 
-void ClookScheduler::pop_batch(std::uint64_t head_lba, std::vector<IoJob>& out) {
+void ClookScheduler::pop_batch(std::uint64_t head_lba,
+                               std::vector<IoJob>& out) {
   assert(!jobs_.empty());
   out.push_back(take(jobs_, clook_pick(jobs_, head_lba)));
 }
@@ -123,7 +124,8 @@ std::string BatchScheduler::name() const {
   return "batch" + std::to_string(max_batch_);
 }
 
-void BatchScheduler::pop_batch(std::uint64_t head_lba, std::vector<IoJob>& out) {
+void BatchScheduler::pop_batch(std::uint64_t head_lba,
+                               std::vector<IoJob>& out) {
   assert(!jobs_.empty());
   // Seed the batch with the C-LOOK sweep's next job.
   out.push_back(take(jobs_, clook_pick(jobs_, head_lba)));

@@ -3,7 +3,8 @@
 // The reference device is the Seagate Barracuda ST3500630AS the authors
 // simulated: 500 GB SATA, 7200 rpm, 72 MB/s sustained transfer, with the
 // power figures of Figure 1 / Table 2.  All values are plain data so other
-// devices can be described too; the paper's disk is `DiskParams::st3500630as()`.
+// devices can be described too; the paper's disk is
+// `DiskParams::st3500630as()`.
 #pragma once
 
 #include <string>

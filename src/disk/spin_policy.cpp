@@ -33,7 +33,8 @@ std::unique_ptr<SpinDownPolicy> make_break_even_policy(const DiskParams& p) {
 RandomizedCompetitivePolicy::RandomizedCompetitivePolicy(const DiskParams& p)
     : break_even_(p.break_even_threshold()) {}
 
-std::optional<double> RandomizedCompetitivePolicy::idle_timeout(util::Rng& rng) {
+std::optional<double> RandomizedCompetitivePolicy::idle_timeout(
+    util::Rng& rng) {
   // Inverse CDF of f(t) = e^(t/B) / (B(e-1)) on [0, B]:
   //   F(t) = (e^(t/B) - 1) / (e - 1)  =>  t = B ln(1 + u(e - 1)).
   const double u = rng.uniform01();

@@ -78,7 +78,9 @@ private:
 
 class NeverSpinDownPolicy final : public SpinDownPolicy {
 public:
-  std::optional<double> idle_timeout(util::Rng&) override { return std::nullopt; }
+  std::optional<double> idle_timeout(util::Rng&) override {
+    return std::nullopt;
+  }
   std::string name() const override { return "never"; }
 };
 

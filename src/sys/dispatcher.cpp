@@ -17,7 +17,8 @@ Dispatcher::Dispatcher(des::Simulation& sim,
   }
   for (const auto d : mapping_) {
     if (d >= disks_.size()) {
-      throw std::invalid_argument{"Dispatcher: mapping references unknown disk"};
+      throw std::invalid_argument{
+          "Dispatcher: mapping references unknown disk"};
     }
   }
   extents_ = workload::layout_extents(
@@ -34,7 +35,8 @@ void Dispatcher::dispatch(const workload::Request& request) {
       const auto latency = cache_hit_latency_;
       if (latency > 0.0) {
         // 24-byte capture: delivered through the calendar's inline buffer.
-        sim_.schedule_in(latency, [this, id, latency] { on_hit_(id, latency); });
+        sim_.schedule_in(latency,
+                         [this, id, latency] { on_hit_(id, latency); });
       } else {
         on_hit_(id, 0.0);
       }

@@ -56,8 +56,8 @@ PhasedResult run_phased(const PhasedConfig& config) {
 
   // Initial placement from the window-0 popularity.
   core::PackDisks pack;
-  auto current =
-      pack.allocate(core::normalize(drifted_catalog(base, 0, 0.0), config.model));
+  auto current = pack.allocate(
+      core::normalize(drifted_catalog(base, 0, 0.0), config.model));
 
   PhasedResult out;
   core::Reorganizer reorganizer{config.model};

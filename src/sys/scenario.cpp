@@ -662,8 +662,10 @@ std::string to_json(const RunResult& r) {
   out += ", \"resp_max_s\": " + num(r.response.max());
   out += ", \"cache_hits\": " + std::to_string(r.cache.hits);
   out += ", \"cache_misses\": " + std::to_string(r.cache.misses);
-  out += ", \"completed_at_horizon\": " + std::to_string(r.completed_at_horizon);
-  out += ", \"in_flight_at_horizon\": " + std::to_string(r.in_flight_at_horizon);
+  out += ", \"completed_at_horizon\": " +
+         std::to_string(r.completed_at_horizon);
+  out += ", \"in_flight_at_horizon\": " +
+         std::to_string(r.in_flight_at_horizon);
   out += "}";
   return out;
 }

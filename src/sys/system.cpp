@@ -143,7 +143,8 @@ PolicySpec PolicySpec::parse(const std::string& name) {
   }
   if (head == "ewma") return ewma(numeric_arg(PolicySpec{}.ewma_alpha));
   if (head == "share") {
-    const double n = numeric_arg(static_cast<double>(PolicySpec{}.share_experts));
+    const double n =
+        numeric_arg(static_cast<double>(PolicySpec{}.share_experts));
     // Range-check before the cast: an out-of-range float-to-int conversion
     // is undefined behavior, not a detectable error.
     if (n < 2.0 || n > 4096.0 || n != std::floor(n)) {

@@ -144,7 +144,8 @@ struct RunResult {
   /// in-flight services run to completion after the horizon and record
   /// their response times.
   std::uint64_t completed_at_horizon = 0; ///< sum of per-disk served
-  std::uint64_t in_flight_at_horizon = 0; ///< sum of per-disk queued + in_service
+  /// Sum of per-disk queued + in_service at the horizon.
+  std::uint64_t in_flight_at_horizon = 0;
 };
 
 class StorageSystem {

@@ -41,12 +41,14 @@ bool Cli::has(const std::string& name) const {
   return options_.contains(name);
 }
 
-std::string Cli::get(const std::string& name, const std::string& fallback) const {
+std::string Cli::get(const std::string& name,
+                     const std::string& fallback) const {
   const auto it = options_.find(name);
   return it == options_.end() || it->second.empty() ? fallback : it->second;
 }
 
-std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+std::int64_t Cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end() || it->second.empty()) return fallback;
   return std::strtoll(it->second.c_str(), nullptr, 10);

@@ -100,11 +100,14 @@ AliasTable::AliasTable(std::span<const double> weights) {
   double total = 0.0;
   for (double w : weights) {
     if (w < 0.0 || !std::isfinite(w)) {
-      throw std::invalid_argument{"alias table weights must be finite and >= 0"};
+      throw std::invalid_argument{
+          "alias table weights must be finite and >= 0"};
     }
     total += w;
   }
-  if (total <= 0.0) throw std::invalid_argument{"alias table weights sum to zero"};
+  if (total <= 0.0) {
+    throw std::invalid_argument{"alias table weights sum to zero"};
+  }
 
   prob_.assign(n, 0.0);
   alias_.assign(n, 0);

@@ -50,7 +50,9 @@ std::optional<Bytes> parse_bytes(const std::string& s) {
     --cut;
   }
   std::string suffix = s.substr(cut);
-  for (auto& c : suffix) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (auto& c : suffix) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
   double unit = 1.0;
   if (suffix == "k" || suffix == "kb") unit = static_cast<double>(kKB);
   else if (suffix == "m" || suffix == "mb") unit = static_cast<double>(kMB);

@@ -42,9 +42,15 @@ constexpr std::uint64_t blocks_of(Bytes bytes) {
 }
 
 /// Convenience constructors so call sites read like the paper's tables.
-constexpr Bytes mb(double v) { return static_cast<Bytes>(v * static_cast<double>(kMB)); }
-constexpr Bytes gb(double v) { return static_cast<Bytes>(v * static_cast<double>(kGB)); }
-constexpr Bytes tb(double v) { return static_cast<Bytes>(v * static_cast<double>(kTB)); }
+constexpr Bytes mb(double v) {
+  return static_cast<Bytes>(v * static_cast<double>(kMB));
+}
+constexpr Bytes gb(double v) {
+  return static_cast<Bytes>(v * static_cast<double>(kGB));
+}
+constexpr Bytes tb(double v) {
+  return static_cast<Bytes>(v * static_cast<double>(kTB));
+}
 
 /// "544 MB", "12.86 TB", "970 B" — human-readable SI formatting.
 std::string format_bytes(Bytes b);

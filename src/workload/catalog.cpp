@@ -10,7 +10,8 @@
 
 namespace spindown::workload {
 
-FileCatalog::FileCatalog(std::vector<FileInfo> files) : files_(std::move(files)) {
+FileCatalog::FileCatalog(std::vector<FileInfo> files)
+    : files_(std::move(files)) {
   for (std::size_t i = 0; i < files_.size(); ++i) {
     if (files_[i].id != i) {
       throw std::invalid_argument{"FileCatalog: ids must be dense 0..n-1"};
@@ -104,9 +105,9 @@ FileCatalog generate_catalog(const SyntheticSpec& spec, util::Rng& rng) {
   return FileCatalog{std::move(files)};
 }
 
-std::vector<FileExtent> layout_extents(const FileCatalog& catalog,
-                                       const std::vector<std::uint32_t>& mapping,
-                                       std::uint32_t num_disks) {
+std::vector<FileExtent> layout_extents(
+    const FileCatalog& catalog, const std::vector<std::uint32_t>& mapping,
+    std::uint32_t num_disks) {
   if (mapping.size() < catalog.size()) {
     throw std::invalid_argument{"layout_extents: mapping smaller than catalog"};
   }
@@ -115,7 +116,8 @@ std::vector<FileExtent> layout_extents(const FileCatalog& catalog,
   for (std::size_t i = 0; i < catalog.size(); ++i) {
     const auto disk = mapping[i];
     if (disk >= num_disks) {
-      throw std::invalid_argument{"layout_extents: mapping references unknown disk"};
+      throw std::invalid_argument{
+          "layout_extents: mapping references unknown disk"};
     }
     extents[i].lba = cursor[disk];
     extents[i].blocks = util::blocks_of(catalog[i].size);

@@ -102,8 +102,8 @@ FileCatalog generate_catalog(const SyntheticSpec& spec, util::Rng& rng);
 /// locality the allocation created.  `mapping` is an Assignment's disk_of;
 /// mapping.size() must cover the catalog.  Returned vector is indexed by
 /// file id.
-std::vector<FileExtent> layout_extents(const FileCatalog& catalog,
-                                       const std::vector<std::uint32_t>& mapping,
-                                       std::uint32_t num_disks);
+std::vector<FileExtent> layout_extents(
+    const FileCatalog& catalog, const std::vector<std::uint32_t>& mapping,
+    std::uint32_t num_disks);
 
 } // namespace spindown::workload

@@ -60,8 +60,9 @@ double BoundedPareto::mean() const {
   // E[X] = alpha/(alpha-1) * (lo^alpha)(lo^(1-alpha) - hi^(1-alpha))
   //        / (1 - (lo/hi)^alpha)
   const double la = std::pow(lo_, alpha_);
-  const double num = alpha_ / (alpha_ - 1.0) * la *
-                     (std::pow(lo_, 1.0 - alpha_) - std::pow(hi_, 1.0 - alpha_));
+  const double num =
+      alpha_ / (alpha_ - 1.0) * la *
+      (std::pow(lo_, 1.0 - alpha_) - std::pow(hi_, 1.0 - alpha_));
   const double den = 1.0 - std::pow(lo_ / hi_, alpha_);
   return num / den;
 }
@@ -71,13 +72,16 @@ double BoundedPareto::sample(util::Rng& rng) const {
   const double u = rng.uniform01();
   const double l_a = std::pow(lo_, alpha_);
   const double h_a = std::pow(hi_, alpha_);
-  const double x = std::pow(-(u * h_a - u * l_a - h_a) / (h_a * l_a), -1.0 / alpha_);
+  const double x =
+      std::pow(-(u * h_a - u * l_a - h_a) / (h_a * l_a), -1.0 / alpha_);
   return std::min(std::max(x, lo_), hi_);
 }
 
-BoundedPareto BoundedPareto::with_mean(double lo, double hi, double target_mean) {
+BoundedPareto BoundedPareto::with_mean(double lo, double hi,
+                                       double target_mean) {
   if (!(target_mean > lo) || !(target_mean < hi)) {
-    throw std::invalid_argument{"BoundedPareto::with_mean: target outside (lo, hi)"};
+    throw std::invalid_argument{
+        "BoundedPareto::with_mean: target outside (lo, hi)"};
   }
   // mean() is monotone decreasing in alpha on (0, inf)\{1}: larger alpha puts
   // more mass near lo.  Bisection over alpha, dodging the removable

@@ -64,7 +64,9 @@ Trace Trace::load(const std::filesystem::path& stem) {
     auto header = cat.next();
     if (!header) throw std::runtime_error{"Trace::load: empty catalog csv"};
     while (auto row = cat.next()) {
-      if (row->size() < 3) throw std::runtime_error{"Trace::load: bad catalog row"};
+      if (row->size() < 3) {
+        throw std::runtime_error{"Trace::load: bad catalog row"};
+      }
       FileInfo f;
       f.id = static_cast<FileId>(std::stoul((*row)[0]));
       f.size = std::stoull((*row)[1]);
@@ -78,7 +80,9 @@ Trace Trace::load(const std::filesystem::path& stem) {
     auto header = tr.next();
     if (!header) throw std::runtime_error{"Trace::load: empty trace csv"};
     while (auto row = tr.next()) {
-      if (row->size() < 2) throw std::runtime_error{"Trace::load: bad trace row"};
+      if (row->size() < 2) {
+        throw std::runtime_error{"Trace::load: bad trace row"};
+      }
       TraceRecord rec;
       rec.time = std::stod((*row)[0]);
       rec.file = static_cast<FileId>(std::stoul((*row)[1]));
@@ -128,7 +132,8 @@ TraceStats analyze(const Trace& trace) {
 
   // 80-bin log-spaced size histogram over the catalog, as in §5.1 ("we
   // classified the 88,631 files into 80 bins by their size").
-  const double lo = std::max<double>(1.0, static_cast<double>(trace.catalog().min_size()));
+  const double lo = std::max<double>(
+      1.0, static_cast<double>(trace.catalog().min_size()));
   const double hi = static_cast<double>(trace.catalog().max_size()) * 1.0001;
   if (hi > lo) {
     stats::LogHistogram hist{lo, hi, 80};

@@ -47,7 +47,9 @@ TEST(EwmaIdlePredictor, UncertainBandUsesTheGuardThreshold) {
   EwmaPredictorConfig cfg;
   EwmaIdlePredictorPolicy policy{kParams, cfg};
   util::Rng rng{1};
-  for (int i = 0; i < 40; ++i) policy.observe_idle(i % 2 == 0 ? 5.0 : 150.0, false);
+  for (int i = 0; i < 40; ++i) {
+    policy.observe_idle(i % 2 == 0 ? 5.0 : 150.0, false);
+  }
   const double expected = cfg.guard_factor * kParams.break_even_threshold();
   EXPECT_DOUBLE_EQ(*policy.idle_timeout(rng), expected);
 }

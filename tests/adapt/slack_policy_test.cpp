@@ -46,8 +46,8 @@ TEST(SlackAwarePolicy, QuantileTrackerApproximatesTheTail) {
   // 97% fast responses at ~0.5 s, 3% stalls at ~20 s: the p99 sits inside
   // the stall mode.
   for (int i = 0; i < 50000; ++i) {
-    const double r =
-        rng.uniform01() < 0.97 ? rng.uniform(0.2, 0.8) : rng.uniform(15.0, 25.0);
+    const double r = rng.uniform01() < 0.97 ? rng.uniform(0.2, 0.8)
+                                            : rng.uniform(15.0, 25.0);
     policy.observe_completion(r);
   }
   EXPECT_GT(policy.estimated_percentile(), 5.0);

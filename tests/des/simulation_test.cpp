@@ -203,7 +203,8 @@ TEST(Simulation, SameTimeFifoSurvivesInterleavedCancellations) {
   std::vector<int> order;
   std::vector<EventHandle> handles;
   for (int i = 0; i < 20; ++i) {
-    handles.push_back(sim.schedule_at(5.0, [&order, i] { order.push_back(i); }));
+    handles.push_back(
+        sim.schedule_at(5.0, [&order, i] { order.push_back(i); }));
   }
   // Cancel every third event; survivors must still fire in insertion order.
   for (int i = 0; i < 20; i += 3) EXPECT_TRUE(sim.cancel(handles[i]));

@@ -261,7 +261,8 @@ TEST_F(DiskFixture, PolicyObservesFullPeriodAcrossSpinDown) {
   EXPECT_NEAR(probe->idle_periods[1].first, 200.0, 1e-9);
   EXPECT_TRUE(probe->idle_periods[1].second);
   // An arrival during the spin-up must NOT be reported as another period.
-  EXPECT_EQ(d->metrics(sim_.now()).spin_downs, 1u + 1u); // trailing idle parks too
+  // (The trailing idle period parks the disk too.)
+  EXPECT_EQ(d->metrics(sim_.now()).spin_downs, 1u + 1u);
 }
 
 TEST_F(DiskFixture, PolicyObservesEveryCompletionResponse) {

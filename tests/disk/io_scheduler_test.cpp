@@ -256,8 +256,10 @@ TEST_F(SchedulerDiskFixture, BatchPaysOnePositioningPhaseForAdjacentExtents) {
   EXPECT_NEAR(m.time_in(PowerState::kPositioning), pos_warm + pos_trio, 1e-12);
   EXPECT_NEAR(m.time_in(PowerState::kTransfer), 4 * transfer, 1e-9);
   // The trio shares one service_start (the batch's positioning start).
-  EXPECT_DOUBLE_EQ(completions_[1].service_start, completions_[2].service_start);
-  EXPECT_DOUBLE_EQ(completions_[1].service_start, completions_[3].service_start);
+  EXPECT_DOUBLE_EQ(completions_[1].service_start,
+                   completions_[2].service_start);
+  EXPECT_DOUBLE_EQ(completions_[1].service_start,
+                   completions_[3].service_start);
 }
 
 TEST_F(SchedulerDiskFixture, MetricsSnapshotCountsEveryRequestExactlyOnce) {

@@ -59,7 +59,8 @@ TEST(DiskParams, LaptopProfileIsCheaperToCycle) {
   // much shorter break-even threshold — the device-level trend the paper's
   // introduction describes.
   EXPECT_LT(laptop.transition_energy(), desktop.transition_energy() / 10.0);
-  EXPECT_LT(laptop.break_even_threshold(), desktop.break_even_threshold() / 2.0);
+  EXPECT_LT(laptop.break_even_threshold(),
+            desktop.break_even_threshold() / 2.0);
   EXPECT_LT(laptop.idle_w, desktop.idle_w);
   EXPECT_LT(laptop.standby_w, desktop.standby_w);
   // But it is slower: lower transfer rate, higher positioning latency.

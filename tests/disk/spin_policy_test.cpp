@@ -85,7 +85,9 @@ TEST(RandomizedCompetitivePolicy, KolmogorovSmirnovAgainstTheory) {
   constexpr std::size_t kN = 20000;
   std::vector<double> samples;
   samples.reserve(kN);
-  for (std::size_t i = 0; i < kN; ++i) samples.push_back(*policy.idle_timeout(rng));
+  for (std::size_t i = 0; i < kN; ++i) {
+    samples.push_back(*policy.idle_timeout(rng));
+  }
   std::sort(samples.begin(), samples.end());
   double ks = 0.0;
   for (std::size_t i = 0; i < kN; ++i) {

@@ -20,7 +20,8 @@ TEST(CsvWriter, QuotesSpecialCharacters) {
   std::ostringstream out;
   CsvWriter w{out};
   w.write_row({"plain", "has,comma", "has\"quote", "has\nnewline"});
-  EXPECT_EQ(out.str(), "plain,\"has,comma\",\"has\"\"quote\",\"has\nnewline\"\n");
+  EXPECT_EQ(out.str(),
+            "plain,\"has,comma\",\"has\"\"quote\",\"has\nnewline\"\n");
 }
 
 TEST(CsvWriter, StreamableValues) {
@@ -38,7 +39,8 @@ TEST(SplitCsvLine, Simple) {
 }
 
 TEST(SplitCsvLine, QuotedFields) {
-  const auto fields = split_csv_line("\"has,comma\",\"has\"\"quote\"\"\",plain");
+  const auto fields =
+      split_csv_line("\"has,comma\",\"has\"\"quote\"\"\",plain");
   ASSERT_EQ(fields.size(), 3u);
   EXPECT_EQ(fields[0], "has,comma");
   EXPECT_EQ(fields[1], "has\"quote\"");
