@@ -1,0 +1,100 @@
+# StaticAnalysis.cmake — lint/format targets for the determinism firewall.
+#
+# Targets (all no-op gracefully when a tool is missing, except the
+# determinism linter, which only needs Python 3):
+#
+#   lint              everything below that is available
+#   lint-determinism  tools/lint/determinism_lint.py over src/ (+ spec
+#                     round-trip coverage); zero findings required
+#   lint-tidy         run-clang-tidy over src/bench/examples/tests with the
+#                     repo .clang-tidy (WarningsAsErrors: '*')
+#   format-check      mechanical floor (tools/lint/format_check.py) plus
+#                     clang-format --dry-run --Werror when available
+#   format            clang-format -i over the tree (requires clang-format)
+#
+# compile_commands.json is exported from the root CMakeLists so lint-tidy
+# and editor tooling always have an up-to-date database.
+
+find_package(Python3 COMPONENTS Interpreter QUIET)
+
+set(_lint_depends "")
+
+if(Python3_FOUND)
+  add_custom_target(lint-determinism
+    COMMAND ${Python3_EXECUTABLE}
+            ${PROJECT_SOURCE_DIR}/tools/lint/determinism_lint.py
+            --root ${PROJECT_SOURCE_DIR}
+    COMMENT "Determinism linter (tools/lint/determinism_lint.py)"
+    VERBATIM)
+  list(APPEND _lint_depends lint-determinism)
+
+  add_custom_target(format-mechanical
+    COMMAND ${Python3_EXECUTABLE}
+            ${PROJECT_SOURCE_DIR}/tools/lint/format_check.py
+            --root ${PROJECT_SOURCE_DIR}
+    COMMENT "Mechanical format floor (tools/lint/format_check.py)"
+    VERBATIM)
+else()
+  message(WARNING
+    "Python3 not found: lint-determinism/format-mechanical targets disabled")
+endif()
+
+# --- clang-tidy -------------------------------------------------------------
+
+find_program(SPINDOWN_CLANG_TIDY
+  NAMES clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 clang-tidy-17)
+find_program(SPINDOWN_RUN_CLANG_TIDY
+  NAMES run-clang-tidy run-clang-tidy-20 run-clang-tidy-19 run-clang-tidy-18
+        run-clang-tidy-17)
+
+if(SPINDOWN_CLANG_TIDY AND SPINDOWN_RUN_CLANG_TIDY)
+  add_custom_target(lint-tidy
+    COMMAND ${SPINDOWN_RUN_CLANG_TIDY}
+            -clang-tidy-binary ${SPINDOWN_CLANG_TIDY}
+            -p ${CMAKE_BINARY_DIR}
+            -quiet
+            "${PROJECT_SOURCE_DIR}/(src|bench|examples|tests)/"
+    WORKING_DIRECTORY ${PROJECT_SOURCE_DIR}
+    COMMENT "clang-tidy baseline (run-clang-tidy, zero findings required)"
+    VERBATIM)
+  list(APPEND _lint_depends lint-tidy)
+else()
+  message(STATUS
+    "clang-tidy/run-clang-tidy not found: `lint` runs the determinism "
+    "linter only (CI runs the full baseline)")
+endif()
+
+# --- clang-format -----------------------------------------------------------
+
+file(GLOB_RECURSE SPINDOWN_FORMAT_SOURCES CONFIGURE_DEPENDS
+  ${PROJECT_SOURCE_DIR}/src/*.h ${PROJECT_SOURCE_DIR}/src/*.cpp
+  ${PROJECT_SOURCE_DIR}/bench/*.h ${PROJECT_SOURCE_DIR}/bench/*.cpp
+  ${PROJECT_SOURCE_DIR}/examples/*.h ${PROJECT_SOURCE_DIR}/examples/*.cpp
+  ${PROJECT_SOURCE_DIR}/tests/*.h ${PROJECT_SOURCE_DIR}/tests/*.cpp)
+
+find_program(SPINDOWN_CLANG_FORMAT
+  NAMES clang-format clang-format-20 clang-format-19 clang-format-18
+        clang-format-17)
+
+if(SPINDOWN_CLANG_FORMAT)
+  add_custom_target(format
+    COMMAND ${SPINDOWN_CLANG_FORMAT} -i ${SPINDOWN_FORMAT_SOURCES}
+    COMMENT "clang-format -i over src/bench/examples/tests"
+    VERBATIM)
+  add_custom_target(format-check
+    COMMAND ${SPINDOWN_CLANG_FORMAT} --dry-run --Werror
+            ${SPINDOWN_FORMAT_SOURCES}
+    COMMENT "clang-format --dry-run --Werror (no diffs allowed)"
+    VERBATIM)
+  if(TARGET format-mechanical)
+    add_dependencies(format-check format-mechanical)
+  endif()
+elseif(TARGET format-mechanical)
+  message(STATUS
+    "clang-format not found: format-check runs the mechanical floor only")
+  add_custom_target(format-check DEPENDS format-mechanical)
+endif()
+
+if(_lint_depends)
+  add_custom_target(lint DEPENDS ${_lint_depends})
+endif()

@@ -27,6 +27,7 @@ private:
   util::Bytes capacity_;
   util::Bytes used_ = 0;
   std::deque<workload::FileId> order_; // front = oldest
+  // Lookup only — never iterated; eviction order is defined by order_.
   std::unordered_map<workload::FileId, util::Bytes> sizes_;
   CacheStats stats_;
 };

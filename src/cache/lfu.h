@@ -40,6 +40,8 @@ private:
   util::Bytes capacity_;
   util::Bytes used_ = 0;
   std::uint64_t clock_ = 0;
+  // Lookup only — never iterated; victim selection walks victim_order_,
+  // whose std::set ordering is deterministic.
   std::unordered_map<workload::FileId, Entry> entries_;
   std::set<std::pair<Key, workload::FileId>> victim_order_;
   CacheStats stats_;

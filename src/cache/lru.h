@@ -33,6 +33,7 @@ private:
   util::Bytes used_ = 0;
   // Front = most recently used.
   std::list<Entry> order_;
+  // Lookup only — never iterated; eviction order is defined by order_.
   std::unordered_map<workload::FileId, std::list<Entry>::iterator> index_;
   CacheStats stats_;
 };

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <thread>
 
@@ -19,7 +20,12 @@ std::vector<RunResult> run_sweep(std::span<const ExperimentConfig> configs,
                                  static_cast<unsigned>(configs.size()));
 
   std::atomic<std::size_t> next{0};
+  // When workers throw, the error rethrown to the caller must not depend on
+  // scheduling: every config is still attempted (a failing worker moves on
+  // to its next index instead of bailing out), and the exception kept is
+  // the one from the lowest sweep index.
   std::exception_ptr first_error;
+  std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
   std::mutex error_mutex;
 
   {
@@ -34,8 +40,10 @@ std::vector<RunResult> run_sweep(std::span<const ExperimentConfig> configs,
             results[i] = run_experiment(configs[i]);
           } catch (...) {
             const std::scoped_lock lock{error_mutex};
-            if (!first_error) first_error = std::current_exception();
-            return;
+            if (i < first_error_index) {
+              first_error_index = i;
+              first_error = std::current_exception();
+            }
           }
         }
       });

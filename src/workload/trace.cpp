@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "util/csv.h"
 
@@ -115,16 +114,18 @@ TraceStats analyze(const Trace& trace) {
   out.total_catalog_bytes = trace.catalog().total_bytes();
   if (trace.empty()) return out;
 
-  std::unordered_set<FileId> distinct;
-  distinct.reserve(trace.catalog().size());
+  // Distinct-file count comes from the dense per-file access_count vector
+  // rather than a hash set: FileIds are contiguous catalog indices, and the
+  // vector keeps this function free of unordered containers entirely.
   double bytes_sum = 0.0;
   std::vector<double> access_count(trace.catalog().size(), 0.0);
   for (const auto& r : trace.records()) {
-    distinct.insert(r.file);
     bytes_sum += static_cast<double>(trace.catalog().by_id(r.file).size);
     access_count[r.file] += 1.0;
   }
-  out.distinct_files = distinct.size();
+  out.distinct_files = static_cast<std::size_t>(
+      std::count_if(access_count.begin(), access_count.end(),
+                    [](double c) { return c > 0.0; }));
   out.arrival_rate = out.duration_s > 0.0
                          ? static_cast<double>(out.requests) / out.duration_s
                          : 0.0;

@@ -113,5 +113,36 @@ TEST(RunSweep, PropagatesWorkerExceptions) {
   EXPECT_THROW(run_sweep(configs), std::invalid_argument);
 }
 
+TEST(RunSweep, LowestIndexErrorWinsAcrossSchedules) {
+  // Two failing configs with distinguishable messages: the rethrown error
+  // must always be the one for the lowest sweep index, regardless of which
+  // worker hits its exception first.  (Regression: the old path kept
+  // whichever error locked the mutex first, so the surfaced diagnostic
+  // changed run to run.)
+  const auto cat = sweep_catalog();
+  auto bad_mapping = config_with_rate(cat, 0.5);
+  bad_mapping.mapping = {0, 0, 1, 1, 2, 9}; // disk 9 does not exist
+  auto bad_catalog = config_with_rate(cat, 0.5);
+  bad_catalog.catalog = nullptr;
+  const std::vector<ExperimentConfig> configs{
+      config_with_rate(cat, 0.3), bad_mapping, config_with_rate(cat, 0.4),
+      bad_catalog};
+  for (int rep = 0; rep < 10; ++rep) {
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      SCOPED_TRACE("rep " + std::to_string(rep) + " threads " +
+                   std::to_string(threads));
+      try {
+        run_sweep(configs, threads);
+        FAIL() << "expected run_sweep to throw";
+      } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string{e.what()}.find("mapping references disk"),
+                  std::string::npos)
+            << "got the index-3 error instead of the index-1 error: "
+            << e.what();
+      }
+    }
+  }
+}
+
 } // namespace
 } // namespace spindown::sys

@@ -1,0 +1,8 @@
+// Fixture: a DETERMINISM-OK annotation with an empty reason must itself be
+// reported (suppressions require a written justification).
+// (Not part of the build; consumed by determinism_lint.py --self-test.)
+
+// DETERMINISM-OK(static-mutable):
+static int g_unjustified = 0;
+
+int touch() { return ++g_unjustified; }

@@ -1,0 +1,25 @@
+// Fixture: the statics below must fire the static-mutable rule.
+// (Not part of the build; consumed by determinism_lint.py --self-test.)
+#include <cstdint>
+#include <string>
+#include <vector>
+
+static std::uint64_t g_call_count = 0;  // finding: namespace-scope mutable
+
+int bad_counter() {
+  static int calls = 0;  // finding: function-local mutable
+  g_call_count += 1;
+  return ++calls;
+}
+
+// Compile-time and immutable statics must NOT fire.
+static constexpr double kPi = 3.14159265358979;
+static const std::string kName = "fixture";
+
+// Static member function *declarations* must NOT fire either.
+struct Widget {
+  static Widget parse(const std::string& text);
+  static int size_of(const Widget& w) { return static_cast<int>(sizeof(w)); }
+};
+
+double use_all() { return kPi + static_cast<double>(kName.size()); }

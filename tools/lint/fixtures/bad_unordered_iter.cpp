@@ -1,0 +1,31 @@
+// Fixture: the range-fors below must fire the unordered-iteration rule.
+// (Not part of the build; consumed by determinism_lint.py --self-test.)
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+double bad_sum(const std::unordered_map<std::uint32_t, double>& weights) {
+  double total = 0.0;
+  for (const auto& [id, w] : weights) {  // finding: unordered-iteration
+    total += w * static_cast<double>(id);
+  }
+  return total;
+}
+
+std::uint64_t bad_first() {
+  std::unordered_set<std::uint64_t> seen{3, 1, 4, 1, 5};
+  for (auto v : seen) {  // finding: unordered-iteration
+    return v;  // "first" element depends on hash salt: nondeterministic
+  }
+  return 0;
+}
+
+// A classic for loop over an index must NOT fire even though an unordered
+// container is in scope.
+std::size_t fine_count(const std::unordered_set<int>& s, int n) {
+  std::size_t hits = 0;
+  for (int i = 0; i < n; ++i) {
+    hits += s.count(i);
+  }
+  return hits;
+}

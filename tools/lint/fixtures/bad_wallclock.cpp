@@ -1,0 +1,28 @@
+// Fixture: every statement below must fire the wall-clock rule.
+// (Not part of the build; consumed by determinism_lint.py --self-test.)
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double bad_now() {
+  auto t = std::chrono::system_clock::now();  // finding: system_clock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long bad_epoch() {
+  return time(nullptr);  // finding: time(
+}
+
+int bad_rand() {
+  return std::rand();  // finding: std::rand(
+}
+
+unsigned bad_entropy() {
+  std::random_device rd;  // finding: random_device
+  return rd();
+}
+
+// A mention of system_clock in a comment, and "random_device" in a string,
+// must NOT fire: the scanner strips comments and literals first.
+const char* kNotAFinding = "random_device steady_clock time( rand(";

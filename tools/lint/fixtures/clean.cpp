@@ -1,0 +1,45 @@
+// Fixture: deterministic idioms — the linter must report nothing here.
+// (Not part of the build; consumed by determinism_lint.py --self-test.)
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// A seeded, explicit generator is the only sanctioned randomness source.
+struct SeededRng {
+  explicit SeededRng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state;
+  }
+  std::uint64_t state;
+};
+
+double deterministic_sum(const std::map<std::uint32_t, double>& weights) {
+  double total = 0.0;
+  for (const auto& [id, w] : weights) {  // ordered map: fine
+    total += w * static_cast<double>(id);
+  }
+  return total;
+}
+
+// Unordered lookup (no iteration) is fine, as is iterating a sorted copy.
+double lookup(const std::unordered_map<std::uint32_t, double>& index,
+              const std::vector<std::uint32_t>& order) {
+  double total = 0.0;
+  for (const auto id : order) {
+    const auto it = index.find(id);
+    if (it != index.end()) total += it->second;
+  }
+  return total;
+}
+
+// A justified suppression: allowed because the reason is written down.
+// DETERMINISM-OK(static-mutable): fixture demonstrating a justified waiver
+static int g_waived = 0;
+
+int touch_waived() { return ++g_waived; }
+
+// Mentions in comments/strings never fire: system_clock, random_device.
+const char* kDescription = "uses std::rand() only in this string";

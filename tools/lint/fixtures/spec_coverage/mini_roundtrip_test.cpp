@@ -1,0 +1,9 @@
+// Fixture: round-trip test registering FooSpec only (BarSpec is missing on
+// purpose so the spec-coverage rule has something to catch).
+// (Not part of the build; consumed by determinism_lint.py --self-test.)
+#include "mini_scenario.h"
+
+void roundtrip_foo() {
+  FooSpec s;
+  (void)FooSpec::parse(s.spec());
+}

@@ -1,0 +1,16 @@
+// Fixture: FooSpec is registered in mini_roundtrip_test.cpp, BarSpec is not
+// — the spec-coverage rule must flag exactly BarSpec.
+// (Not part of the build; consumed by determinism_lint.py --self-test.)
+#pragma once
+
+#include <string>
+
+struct FooSpec {
+  static FooSpec parse(const std::string& name);
+  std::string spec() const;
+};
+
+struct BarSpec {
+  static BarSpec parse(const std::string& name);
+  std::string spec() const;
+};

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""format_check.py — dependency-free mechanical formatting floor.
+
+clang-format (enforced in CI via `--dry-run --Werror` and locally via the
+`format-check` CMake target when the tool is installed) is the full style
+check.  This script is the subset that needs no tooling, so every
+environment — including ones without LLVM — can still gate the mechanical
+invariants:
+
+  * no tab characters
+  * no trailing whitespace
+  * no CR/LF line endings
+  * file ends with exactly one newline
+  * no line longer than 80 characters (counted in characters, not bytes —
+    the tree's comments use UTF-8 punctuation)
+
+Usage: format_check.py [--root DIR] [paths...]
+Exit status: 0 = clean, 1 = violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Sequence
+
+DEFAULT_DIRS = ("src", "bench", "examples", "tests")
+EXTENSIONS = (".h", ".hpp", ".cpp", ".cc")
+MAX_COLUMNS = 80
+
+
+def sources(root: str, paths: Sequence[str]) -> List[str]:
+    if paths:
+        roots = list(paths)
+    else:
+        roots = [os.path.join(root, d) for d in DEFAULT_DIRS]
+    out: List[str] = []
+    for r in roots:
+        if os.path.isfile(r):
+            out.append(r)
+            continue
+        for dirpath, dirnames, filenames in os.walk(r):
+            dirnames.sort()
+            out += [
+                os.path.join(dirpath, f) for f in sorted(filenames)
+                if f.endswith(EXTENSIONS)
+            ]
+    return out
+
+
+def check_file(path: str) -> List[str]:
+    problems: List[str] = []
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    if b"\r" in raw:
+        problems.append(f"{path}: CR/LF line endings")
+    if raw and not raw.endswith(b"\n"):
+        problems.append(f"{path}: missing final newline")
+    if raw.endswith(b"\n\n"):
+        problems.append(f"{path}: trailing blank line(s) at end of file")
+    text = raw.decode("utf-8", errors="replace")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "\t" in line:
+            problems.append(f"{path}:{lineno}: tab character")
+        if line != line.rstrip():
+            problems.append(f"{path}:{lineno}: trailing whitespace")
+        if len(line) > MAX_COLUMNS:
+            problems.append(
+                f"{path}:{lineno}: {len(line)} columns (limit {MAX_COLUMNS})")
+    return problems
+
+
+def main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None)
+    parser.add_argument("paths", nargs="*")
+    args = parser.parse_args(argv)
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = args.root or os.path.dirname(os.path.dirname(here))
+
+    problems: List[str] = []
+    for path in sources(root, args.paths):
+        problems += check_file(path)
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"\n{len(problems)} mechanical formatting violation(s).")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
