@@ -41,8 +41,11 @@ void print_usage(const std::string& program) {
       << "      cache=none|lru:16g|fifo:4g|lfu:16g\n"
       << "      workload=poisson(R,T)|nhpp(t:r;...,T[,P])\n"
       << "              |mmpp(r0,r1,d0,d1,T)|trace:<stem>|replay\n"
-      << "      seed=<n>  label=<name>\n"
+      << "      seed=<n>  label=<name>  shards=<n|auto>\n"
       << "  --sweep 'key=v1,v2,...'  cross one axis (repeatable; axes cross)\n"
+      << "  --shards <n|auto>  shard each run's calendar (sys/fleet.h);\n"
+      << "                     shorthand for shards=<v> in the scenario —\n"
+      << "                     results are bit-identical at any count\n"
       << "  --json             one JSON row per scenario on stdout (JSONL)\n"
       << "  --threads <n>      parallel sweep width (default: hardware)\n"
       << "  --help             this text\n";
@@ -85,7 +88,10 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<unsigned>(cli.get_int("threads", 0));
 
   try {
-    const auto base = sys::ScenarioSpec::parse(cli.get("scenario", ""));
+    auto base = sys::ScenarioSpec::parse(cli.get("scenario", ""));
+    if (cli.has("shards")) {
+      base = base.with("shards", cli.get("shards", "auto"));
+    }
 
     // Cross the sweep axes.  Each scenario remembers its swept values so
     // the table has one column per axis.

@@ -13,6 +13,24 @@ util::Joules DiskMetrics::energy(const DiskParams& p) const {
   return total;
 }
 
+void DiskMetrics::merge(const DiskMetrics& other) {
+  disk_id = std::min(disk_id, other.disk_id);
+  for (std::size_t i = 0; i < kPowerStateCount; ++i) {
+    state_time[i] += other.state_time[i];
+  }
+  spin_ups += other.spin_ups;
+  spin_downs += other.spin_downs;
+  served += other.served;
+  bytes_served += other.bytes_served;
+  queued += other.queued;
+  in_service += other.in_service;
+  positionings += other.positionings;
+  idle_periods.merge(other.idle_periods);
+  response.merge(other.response);
+  energy_j += other.energy_j;
+  always_on_j += other.always_on_j;
+}
+
 Disk::Disk(des::Simulation& sim, std::uint32_t id, DiskParams params,
            std::unique_ptr<SpinDownPolicy> policy, util::Rng rng,
            std::unique_ptr<IoScheduler> scheduler)
@@ -200,9 +218,19 @@ DiskMetrics Disk::metrics(double now) const {
   auto ledger = ledger_; // copy, then flush the copy to `now`
   ledger.flush(now);
   DiskMetrics m;
+  m.disk_id = id_;
   for (std::size_t i = 0; i < kPowerStateCount; ++i) {
     m.state_time[i] = ledger.time_in(static_cast<PowerState>(i));
   }
+  m.energy_j = m.energy(params_);
+  // Per-disk share of the always-on normalizer: idle draw for the whole
+  // window plus the service premium (seek/active over idle) for this disk's
+  // busy time.  Farm totals are the disk-id-order sum of these.
+  m.always_on_j = now * params_.idle_w +
+                  m.time_in(PowerState::kPositioning) *
+                      (params_.seek_w - params_.idle_w) +
+                  m.time_in(PowerState::kTransfer) *
+                      (params_.active_w - params_.idle_w);
   m.spin_ups = spin_ups_;
   m.spin_downs = spin_downs_;
   m.served = served_;

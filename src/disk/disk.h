@@ -37,6 +37,7 @@
 #include "disk/spin_policy.h"
 #include "stats/histogram.h"
 #include "stats/time_weighted.h"
+#include "stats/welford.h"
 #include "util/inline_function.h"
 #include "util/rng.h"
 
@@ -60,6 +61,10 @@ struct Completion {
 /// so a horizon snapshot accounts for every submitted request exactly once:
 /// submitted == served + in_service + queued.
 struct DiskMetrics {
+  /// Which disk these counters belong to.  Farm aggregation folds metrics
+  /// in disk-id order, so the result is independent of which shard (or
+  /// calendar) produced each record.
+  std::uint32_t disk_id = 0;
   std::array<double, kPowerStateCount> state_time{};
   std::uint64_t spin_ups = 0;
   std::uint64_t spin_downs = 0;
@@ -75,6 +80,18 @@ struct DiskMetrics {
   /// to ~28 h.  Exposes the idle structure the spin-down economics turn on —
   /// and the signal the adaptive policies (src/adapt/) learn from.
   stats::LogHistogram idle_periods{kIdleHistLo, kIdleHistHi, kIdleHistBins};
+  /// Response-time moments of every request this disk completed over the
+  /// whole episode (including services drained past the horizon).  Filled
+  /// by the run driver, not the Disk: the disk reports completions through
+  /// its callback and the driver owns the per-disk accumulators.
+  stats::Welford response;
+  /// Integrated energy over [0, snapshot time] under the disk's own power
+  /// model, and the energy the same window/busy-time would have cost with
+  /// power management off (the Figure 5 normalizer, per disk).  Stored at
+  /// metrics() time — where DiskParams is in scope — so farm aggregation
+  /// and RunResult::merge need no params.
+  util::Joules energy_j = 0.0;
+  util::Joules always_on_j = 0.0;
 
   static constexpr double kIdleHistLo = 1e-3;
   static constexpr double kIdleHistHi = 1e5;
@@ -88,6 +105,12 @@ struct DiskMetrics {
   }
   /// Integrated energy under the device's power model.
   util::Joules energy(const DiskParams& p) const;
+
+  /// Fold another record's counters into this one — disjoint observation
+  /// sets of the same farm (window- or shard-aggregation).  Sums the
+  /// counters, state times, and energies; merges the histograms bin-wise
+  /// and the response moments with Chan's formula; keeps the lower disk_id.
+  void merge(const DiskMetrics& other);
 };
 
 class Disk {

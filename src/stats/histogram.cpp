@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace spindown::stats {
 
@@ -25,6 +26,20 @@ void LinearHistogram::add(double x, std::uint64_t weight) {
   auto idx = static_cast<std::size_t>((x - lo_) / width_);
   if (idx >= counts_.size()) idx = counts_.size() - 1; // float edge case
   counts_[idx] += weight;
+}
+
+void LinearHistogram::merge(const LinearHistogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument{
+        "LinearHistogram::merge: geometry mismatch (lo/hi/bins must agree)"};
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
 }
 
 double LinearHistogram::bin_lo(std::size_t i) const {
@@ -76,6 +91,18 @@ void LogHistogram::add(double x, std::uint64_t weight) {
   auto idx = static_cast<std::size_t>((lx - log_lo_) / log_width_);
   if (idx >= counts_.size()) idx = counts_.size() - 1;
   counts_[idx] += weight;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (log_lo_ != other.log_lo_ || log_hi_ != other.log_hi_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument{
+        "LogHistogram::merge: geometry mismatch (lo/hi/bins must agree)"};
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
 }
 
 double LogHistogram::bin_lo(std::size_t i) const {

@@ -18,12 +18,20 @@ public:
 
   void add(double x, std::uint64_t weight = 1);
 
+  /// Exact bin-wise accumulation of `other` (identical geometry required;
+  /// throws std::invalid_argument otherwise).  Integer adds commute, so the
+  /// merged histogram is independent of merge order — the property the
+  /// sharded-simulation aggregation relies on.
+  void merge(const LinearHistogram& other);
+
   std::uint64_t total() const { return total_; }
   std::size_t bins() const { return counts_.size(); }
   std::uint64_t bin_count(std::size_t i) const { return counts_[i]; }
   std::uint64_t underflow() const { return underflow_; }
   std::uint64_t overflow() const { return overflow_; }
 
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   double bin_lo(std::size_t i) const;
   double bin_hi(std::size_t i) const;
 
@@ -43,6 +51,10 @@ public:
   LogHistogram(double lo, double hi, std::size_t bins);
 
   void add(double x, std::uint64_t weight = 1);
+
+  /// Exact bin-wise accumulation of `other` (identical geometry required;
+  /// throws std::invalid_argument otherwise).  Order-independent.
+  void merge(const LogHistogram& other);
 
   std::uint64_t total() const { return total_; }
   std::size_t bins() const { return counts_.size(); }

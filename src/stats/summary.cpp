@@ -1,12 +1,12 @@
 #include "stats/summary.h"
 
+#include <stdexcept>
+
 #include "util/units.h"
 
 namespace spindown::stats {
 
-// 0..2000 s in 0.1 s cells: fine enough for sub-second percentiles, wide
-// enough that only pathological runs overflow (overflow still counted).
-ResponseSummary::ResponseSummary() : hist_(0.0, 2000.0, 20000) {}
+ResponseSummary::ResponseSummary() : hist_(kHistLo, kHistHi, kHistBins) {}
 
 void ResponseSummary::add(double seconds) {
   moments_.add(seconds);
@@ -15,11 +15,26 @@ void ResponseSummary::add(double seconds) {
 
 void ResponseSummary::merge(const ResponseSummary& other) {
   moments_.merge(other.moments_);
-  for (std::size_t i = 0; i < other.hist_.bins(); ++i) {
-    if (const auto c = other.hist_.bin_count(i); c > 0) {
-      hist_.add((other.hist_.bin_lo(i) + other.hist_.bin_hi(i)) / 2.0, c);
-    }
+  hist_.merge(other.hist_);
+}
+
+ResponseSummary ResponseSummary::from_parts(const Welford& moments,
+                                            const LinearHistogram& hist) {
+  ResponseSummary out;
+  if (hist.lo() != kHistLo || hist.hi() != kHistHi ||
+      hist.bins() != kHistBins) {
+    throw std::invalid_argument{
+        "ResponseSummary::from_parts: histogram must use the canonical "
+        "geometry (kHistLo/kHistHi/kHistBins)"};
   }
+  if (moments.count() != hist.total()) {
+    throw std::invalid_argument{
+        "ResponseSummary::from_parts: moments and histogram disagree on the "
+        "sample count"};
+  }
+  out.moments_ = moments;
+  out.hist_ = hist;
+  return out;
 }
 
 std::string ResponseSummary::brief() const {

@@ -6,6 +6,7 @@
 #include "cache/fifo.h"
 #include "cache/lfu.h"
 #include "cache/lru.h"
+#include "sys/fleet.h"
 #include "sys/spec_grammar.h"
 
 namespace spindown::sys {
@@ -262,6 +263,14 @@ WorkloadSpec WorkloadSpec::parse(const std::string& name) {
 RunResult run_experiment(const ExperimentConfig& config) {
   if (config.catalog == nullptr) {
     throw std::invalid_argument{"ExperimentConfig: catalog is required"};
+  }
+
+  const std::uint32_t shards =
+      effective_shards(config.shards, config.num_disks);
+  // Whole-episode measurement (horizon <= 0) needs the single global
+  // calendar; every built-in workload has a positive horizon.
+  if (shards > 1 && config.workload.measurement_horizon() > 0.0) {
+    return run_fleet(config, shards);
   }
 
   const auto cache = config.cache.make();

@@ -160,6 +160,12 @@ struct ExperimentConfig {
   CacheSpec cache = CacheSpec::none();
   WorkloadSpec workload;
   std::uint64_t seed = 1;
+  /// Shard the run's event calendar across this many per-disk-group
+  /// sub-simulations (sys/fleet.h).  1 = the single-calendar path; 0 =
+  /// auto (one shard per hardware thread, clamped to the farm size).
+  /// Sharding changes wall-clock only: every physical result field is
+  /// bit-identical at any shard count.
+  std::uint32_t shards = 1;
 };
 
 /// Run one experiment to completion.  Deterministic given the config.

@@ -1,0 +1,334 @@
+#include "sys/fleet.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "des/simulation.h"
+#include "disk/disk.h"
+#include "stats/summary.h"
+#include "stats/welford.h"
+#include "util/rng.h"
+#include "workload/stream.h"
+
+namespace spindown::sys {
+namespace {
+
+/// Pre-routed submissions for one shard, one synchronization window.
+/// Structure-of-arrays like workload::RequestBlock: the worker's replay
+/// loop touches time[] on every iteration but the payload fields only at
+/// submit time.
+struct ShardBatch {
+  std::vector<double> time;
+  std::vector<std::uint64_t> request_id;
+  std::vector<util::Bytes> bytes;
+  std::vector<std::uint64_t> lba;
+  std::vector<std::uint64_t> blocks;
+  std::vector<std::uint32_t> local_disk;
+  /// The routed frontier: the worker may advance its clock here after
+  /// replaying the batch (the router has routed every arrival below it).
+  double advance_to = 0.0;
+  bool final = false;
+
+  std::size_t size() const { return time.size(); }
+  void push(double t, std::uint64_t id, util::Bytes b, std::uint64_t l,
+            std::uint64_t nblocks, std::uint32_t disk) {
+    time.push_back(t);
+    request_id.push_back(id);
+    bytes.push_back(b);
+    lba.push_back(l);
+    blocks.push_back(nblocks);
+    local_disk.push_back(disk);
+  }
+};
+
+/// Mailbox depth per shard: bounds router run-ahead (and batch memory)
+/// without stalling workers that lag a window or two.
+constexpr std::size_t kMaxQueuedBatches = 16;
+
+/// One shard: a private calendar plus the disks with id % shards == index.
+/// The router thread fills the mailbox; the worker thread replays batches
+/// with run_until(arrival) + submit() and finalizes into `partial`.
+struct ShardState {
+  // Inputs, set before the thread starts.
+  const ExperimentConfig* config = nullptr;
+  std::vector<std::uint32_t> disk_ids;      ///< global ids, ascending
+  std::vector<util::Rng> rngs;              ///< one per disk, pre-split
+  std::vector<const PolicySpec*> policies;  ///< one per disk
+  double horizon = 0.0;
+
+  // Mailbox (mutex-guarded; cv signals both directions).
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<ShardBatch> queue;
+  bool aborted = false;
+
+  // Outputs, read after join.
+  RunResult partial;
+  std::exception_ptr error;
+
+  void push(ShardBatch batch) {
+    std::unique_lock lock{mu};
+    cv.wait(lock, [this] {
+      return queue.size() < kMaxQueuedBatches || error != nullptr || aborted;
+    });
+    if (error != nullptr || aborted) return; // drained at join
+    queue.push_back(std::move(batch));
+    cv.notify_all();
+  }
+
+  void abort() {
+    const std::scoped_lock lock{mu};
+    aborted = true;
+    cv.notify_all();
+  }
+
+  void run() {
+    try {
+      simulate();
+    } catch (...) {
+      const std::scoped_lock lock{mu};
+      error = std::current_exception();
+      queue.clear(); // unblock the router; it aborts on the next push
+      cv.notify_all();
+    }
+  }
+
+private:
+  void simulate() {
+    des::Simulation sim;
+    std::vector<std::unique_ptr<disk::Disk>> disks;
+    disks.reserve(disk_ids.size());
+    std::vector<stats::Welford> responses(disk_ids.size());
+    stats::LinearHistogram hist{stats::ResponseSummary::kHistLo,
+                                stats::ResponseSummary::kHistHi,
+                                stats::ResponseSummary::kHistBins};
+    for (std::size_t l = 0; l < disk_ids.size(); ++l) {
+      disks.push_back(std::make_unique<disk::Disk>(
+          sim, disk_ids[l], config->params,
+          policies[l]->make(config->params), rngs[l],
+          config->scheduler.make()));
+      disks.back()->set_completion_callback(
+          [&resp = responses[l], &hist](const disk::Completion& c) {
+            resp.add(c.response_time());
+            hist.add(c.response_time());
+          });
+    }
+
+    // The horizon snapshot (freezing the power/queue counters) must be
+    // taken before the local clock first passes the horizon, exactly like
+    // the single-calendar path's snapshot event.
+    std::vector<disk::DiskMetrics> snapshot;
+    const auto advance = [&](double t) {
+      if (snapshot.empty() && t >= horizon) {
+        sim.run_until(horizon);
+        snapshot.reserve(disks.size());
+        for (const auto& d : disks) snapshot.push_back(d->metrics(horizon));
+      }
+      sim.run_until(t);
+    };
+
+    for (;;) {
+      ShardBatch batch;
+      {
+        std::unique_lock lock{mu};
+        cv.wait(lock, [this] { return !queue.empty() || aborted; });
+        if (aborted && queue.empty()) return;
+        batch = std::move(queue.front());
+        queue.pop_front();
+        cv.notify_all();
+      }
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        // Fixed tie rule: every pending disk event at t <= arrival runs
+        // before the submission — identical at any shard count.
+        advance(batch.time[i]);
+        disks[batch.local_disk[i]]->submit(batch.request_id[i],
+                                           batch.bytes[i], batch.lba[i],
+                                           batch.blocks[i]);
+      }
+      if (batch.final) break;
+      if (batch.advance_to > sim.now()) advance(batch.advance_to);
+    }
+
+    // Drain: in-flight services run to completion past the horizon and
+    // still record their response times — the same episode structure as
+    // the single-calendar path.
+    advance(horizon);
+    sim.run();
+    for (std::size_t l = 0; l < snapshot.size(); ++l) {
+      snapshot[l].response = responses[l];
+    }
+    partial.power.horizon_s = horizon;
+    partial.events = sim.executed();
+    partial.per_disk = std::move(snapshot);
+    partial.recompute_from_per_disk(hist);
+  }
+};
+
+} // namespace
+
+std::uint32_t effective_shards(std::uint32_t requested,
+                               std::uint32_t num_disks) {
+  std::uint32_t shards =
+      requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (shards == 0) shards = 1;
+  return std::max<std::uint32_t>(1, std::min(shards, num_disks));
+}
+
+std::vector<RunResult> run_fleet_partials(const ExperimentConfig& config,
+                                          std::uint32_t shards) {
+  if (config.catalog == nullptr) {
+    throw std::invalid_argument{"ExperimentConfig: catalog is required"};
+  }
+  if (config.mapping.size() < config.catalog->size()) {
+    throw std::invalid_argument{"run_fleet: mapping smaller than catalog"};
+  }
+  for (const auto d : config.mapping) {
+    if (d >= config.num_disks) {
+      throw std::invalid_argument{
+          "StorageSystem: mapping references disk >= num_disks"};
+    }
+  }
+  const double horizon = config.workload.measurement_horizon();
+  if (horizon <= 0.0) {
+    throw std::invalid_argument{
+        "run_fleet: needs a positive measurement horizon (whole-episode "
+        "measurement is a single-calendar feature)"};
+  }
+  shards = std::max<std::uint32_t>(
+      1, std::min(shards, std::max<std::uint32_t>(1, config.num_disks)));
+
+  // Per-disk RNGs split in disk-id order on this thread: each disk's draw
+  // stream is a function of (seed, disk id) alone, never of the partition.
+  util::Rng farm_rng{config.seed};
+  std::vector<util::Rng> disk_rngs;
+  disk_rngs.reserve(config.num_disks);
+  for (std::uint32_t d = 0; d < config.num_disks; ++d) {
+    disk_rngs.push_back(farm_rng.split());
+  }
+
+  std::vector<std::unique_ptr<ShardState>> states;
+  states.reserve(shards);
+  for (std::uint32_t w = 0; w < shards; ++w) {
+    auto state = std::make_unique<ShardState>();
+    state->config = &config;
+    state->horizon = horizon;
+    for (std::uint32_t d = w; d < config.num_disks; d += shards) {
+      state->disk_ids.push_back(d);
+      state->rngs.push_back(disk_rngs[d]);
+      const PolicySpec* policy = &config.policy;
+      for (const auto& [disk_id, override_policy] : config.policy_overrides) {
+        if (disk_id == d) policy = &override_policy; // last override wins
+      }
+      state->policies.push_back(policy);
+    }
+    states.push_back(std::move(state));
+  }
+
+  const auto extents = workload::layout_extents(
+      *config.catalog, config.mapping, config.num_disks);
+  const auto cache = config.cache.make();
+  const auto stream =
+      config.workload.make_stream(*config.catalog, config.seed);
+
+  RunResult root;
+  root.power.horizon_s = horizon;
+  stats::LinearHistogram root_hist{stats::ResponseSummary::kHistLo,
+                                   stats::ResponseSummary::kHistHi,
+                                   stats::ResponseSummary::kHistBins};
+  std::uint64_t dispatched = 0;
+
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(shards);
+    for (auto& state : states) {
+      workers.emplace_back([s = state.get()] { s->run(); });
+    }
+    try {
+      // Conservative windows: route all arrivals below each frontier, then
+      // let every shard advance to it.  Any length is causally safe (no
+      // feedback path); this one bounds batch memory to a few thousand
+      // submissions per shard at the bench's request rates.
+      const double window = std::max(1e-3, horizon / 256.0);
+      workload::WindowedStream windowed{*stream};
+      workload::RequestBlock block;
+      std::vector<ShardBatch> batches(shards);
+      double frontier = 0.0;
+      while (!windowed.exhausted()) {
+        frontier += window;
+        if (windowed.next_arrival() >= frontier) {
+          // Idle stretch: jump the frontier to the next arrival's window
+          // instead of shipping empty windows one by one.
+          frontier = windowed.next_arrival() + window;
+        }
+        block.clear();
+        windowed.fill(frontier, std::numeric_limits<std::size_t>::max(),
+                      block);
+        for (std::size_t i = 0; i < block.size(); ++i) {
+          ++dispatched;
+          const auto& file = config.catalog->by_id(block.file[i]);
+          if (cache != nullptr && cache->access(file.id, file.size)) {
+            // Cache hit, served from memory with zero latency (the only
+            // latency the experiment path configures): recorded here, in
+            // arrival order, exactly as the single-calendar path does.
+            root.hits_response.add(0.0);
+            root_hist.add(0.0);
+            continue;
+          }
+          const auto& extent = extents[file.id];
+          const std::uint64_t lba = block.lba[i] != workload::kNoLba
+                                        ? block.lba[i]
+                                        : extent.lba;
+          batches[config.mapping[file.id]
+                  % shards].push(block.arrival[i], block.id[i], file.size,
+                                 lba, extent.blocks,
+                                 config.mapping[file.id] / shards);
+        }
+        for (std::uint32_t w = 0; w < shards; ++w) {
+          batches[w].advance_to = frontier;
+          states[w]->push(std::move(batches[w]));
+          batches[w] = ShardBatch{};
+        }
+      }
+      for (auto& state : states) {
+        ShardBatch last;
+        last.final = true;
+        last.advance_to = horizon;
+        state->push(std::move(last));
+      }
+    } catch (...) {
+      for (auto& state : states) state->abort();
+      throw; // jthreads join on unwind
+    }
+  } // workers join here
+
+  for (auto& state : states) {
+    if (state->error) std::rethrow_exception(state->error);
+  }
+
+  root.requests = dispatched;
+  if (cache != nullptr) root.cache = cache->stats();
+  root.recompute_from_per_disk(root_hist);
+
+  std::vector<RunResult> partials;
+  partials.reserve(1 + shards);
+  partials.push_back(std::move(root));
+  for (auto& state : states) partials.push_back(std::move(state->partial));
+  return partials;
+}
+
+RunResult run_fleet(const ExperimentConfig& config, std::uint32_t shards) {
+  auto partials = run_fleet_partials(config, shards);
+  RunResult result;
+  for (const auto& p : partials) result.merge(p);
+  return result;
+}
+
+} // namespace spindown::sys

@@ -1,0 +1,70 @@
+// fleet.h — one scenario, many calendars: sharded simulation of a disk farm.
+//
+// A single run's event calendar is partitioned into per-disk-group
+// sub-simulations (one des::Simulation per shard, reusing the pooled
+// calendar unchanged) that execute on their own threads.  The cut is clean
+// because the system's coupling is one-directional: disks interact only
+// through the dispatcher/cache *at arrival time* (the cache mutates when a
+// request is routed, never when it completes), and a completion never feeds
+// back into shared state.  So the router — running on the calling thread —
+// generates arrivals in windows, performs every cache access and mapping
+// lookup in arrival order (exactly the sequence the single-calendar path
+// sees), and hands each shard a batch of pre-routed submissions; shards
+// replay their batches independently and can never require a rollback.
+//
+// Synchronization is conservative time-windowing: a shard's local clock may
+// only advance to the window frontier the router has fully routed, so no
+// submission can arrive in a shard's past.  Because the minimum cross-shard
+// latency is infinite (no feedback path), any window length is causally
+// safe; the window bounds the router/shard skew and the batch memory
+// footprint rather than correctness.
+//
+// Determinism: results are bit-identical at every shard count (and to the
+// single-calendar path) because
+//   * each disk's RNG is split from the farm RNG in disk-id order on the
+//     router thread, independent of the shard partition;
+//   * within a shard, batch replay uses run_until(arrival) + submit(), so
+//     pending disk events at t <= arrival always execute before a
+//     submission at t — a fixed tie rule that does not depend on how many
+//     shards exist (the single calendar orders such measure-zero FP ties by
+//     insertion sequence instead; synthetic arrival times are continuous,
+//     so the two rules agree);
+//   * aggregation is canonical (RunResult::recompute_from_per_disk): moments
+//     fold in disk-id order, histograms merge bin-wise, so neither
+//     completion interleaving nor merge order can leak into the result.
+//
+// The per-request arithmetic is identical to the sequential path; sharding
+// buys wall-clock only.  `events` (calendar events executed) is the one
+// RunResult field that differs: the router path dispatches arrivals without
+// scheduling them as events.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sys/experiment.h"
+
+namespace spindown::sys {
+
+/// Resolve a requested shard count: 0 ("auto") becomes
+/// hardware_concurrency, and the result is clamped to [1, num_disks] — a
+/// shard owns at least one disk.
+std::uint32_t effective_shards(std::uint32_t requested,
+                               std::uint32_t num_disks);
+
+/// Run `config` sharded `shards` ways and return the partial RunResults:
+/// element 0 is the router's partial (request count, cache stats, cache-hit
+/// response moments), elements 1..shards are the disk groups (disk d lives
+/// in shard d % shards).  Folding the partials with RunResult::merge — in
+/// any order — reproduces the single-calendar result; run_fleet() does
+/// exactly that.  Requires a positive measurement horizon (every built-in
+/// workload has one).  Throws std::invalid_argument on config errors.
+std::vector<RunResult> run_fleet_partials(const ExperimentConfig& config,
+                                          std::uint32_t shards);
+
+/// Run `config` sharded `shards` ways (>= 1; not auto-resolved) and return
+/// the merged result.  Bit-identical to run_experiment with shards == 1 on
+/// every physical field.
+RunResult run_fleet(const ExperimentConfig& config, std::uint32_t shards);
+
+} // namespace spindown::sys

@@ -346,11 +346,23 @@ void apply_key(ScenarioSpec& s, const std::string& key,
     s.workload = WorkloadSpec::parse(value);
   } else if (key == "seed") {
     s.seed = parse_unsigned(value, "seed=" + value);
+  } else if (key == "shards") {
+    if (value == "auto") {
+      s.shards = 0;
+    } else {
+      const auto n = parse_unsigned(value, "shards=" + value);
+      if (n < 1 || n > 256) {
+        throw std::invalid_argument{
+            "ScenarioSpec: shards must be 'auto' or in [1, 256], got '" +
+            value + "'"};
+      }
+      s.shards = static_cast<std::uint32_t>(n);
+    }
   } else {
     throw std::invalid_argument{
         "ScenarioSpec: unknown key '" + key +
         "' (want label|catalog|placement|load|disks|policy|sched|cache|"
-        "workload|seed)"};
+        "workload|seed|shards)"};
   }
 }
 
@@ -390,6 +402,13 @@ std::string ScenarioSpec::spec() const {
   out += " cache=" + cache.spec();
   out += " workload=" + workload.spec();
   out += " seed=" + std::to_string(seed);
+  // Emitted only off-default: shards is an execution knob, not part of the
+  // result-determining identity (same results at any shard count), so the
+  // canonical strings of all pre-fleet scenarios are unchanged.
+  if (shards != 1) {
+    out += " shards=";
+    out += shards == 0 ? "auto" : std::to_string(shards);
+  }
   return out;
 }
 
@@ -613,6 +632,7 @@ ResolvedScenario ScenarioCache::resolve(const ScenarioSpec& spec) {
   cfg.cache = spec.cache;
   cfg.workload = replays ? WorkloadSpec::replay(*cat.trace) : spec.workload;
   cfg.seed = spec.seed;
+  cfg.shards = spec.shards;
   out.config = std::move(cfg);
   return out;
 }
@@ -648,6 +668,7 @@ std::string to_json(const RunResult& r) {
   std::string out = "{";
   out += "\"disks\": " + std::to_string(r.per_disk.size());
   out += ", \"requests\": " + std::to_string(r.requests);
+  out += ", \"events\": " + std::to_string(r.events);
   out += ", \"horizon_s\": " + num(r.power.horizon_s);
   out += ", \"energy_j\": " + num(r.power.energy);
   out += ", \"avg_power_w\": " + num(r.power.average_power);

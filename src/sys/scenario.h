@@ -156,11 +156,18 @@ struct ScenarioSpec {
   CacheSpec cache = CacheSpec::none();
   WorkloadSpec workload;
   std::uint64_t seed = 1;
+  /// `shards=<n|auto>`: split the run across n per-disk-group
+  /// sub-simulations (sys/fleet.h); 1 (the default) is the single-calendar
+  /// path and 0 renders as "auto" (one shard per hardware thread).  Shard
+  /// count changes wall-clock only, never results, so it is deliberately
+  /// NOT part of the result-determining scenario identity: spec() omits
+  /// the key at its default.
+  std::uint32_t shards = 1;
 
   /// Parse a whitespace-separated `key=value` list.  Keys: label, catalog,
   /// placement, load, disks, policy, sched (alias scheduler), cache,
-  /// workload, seed; missing keys keep their defaults, unknown keys throw
-  /// std::invalid_argument, later duplicates win.
+  /// workload, seed, shards; missing keys keep their defaults, unknown
+  /// keys throw std::invalid_argument, later duplicates win.
   static ScenarioSpec parse(const std::string& text);
   /// Canonical fully-explicit key=value string such that
   /// parse(spec()) == *this.

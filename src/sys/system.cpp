@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <stdexcept>
 
@@ -170,6 +171,78 @@ util::Joules always_on_energy(const disk::DiskParams& p, std::uint32_t disks,
          transfer_s * (p.active_w - p.idle_w);
 }
 
+void RunResult::recompute_from_per_disk(const stats::LinearHistogram& hist) {
+  power.energy = 0.0;
+  power.always_on_energy = 0.0;
+  power.spin_ups = 0;
+  power.spin_downs = 0;
+  power.state_time.fill(0.0);
+  completed_at_horizon = 0;
+  in_flight_at_horizon = 0;
+  // Canonical fold: the cache-hit moments first, then every disk's moments
+  // in disk-id order.  Welford's combine is floating-point-order-dependent,
+  // so fixing this order — rather than using completion order or shard
+  // arrival order — is what makes the result identical at any shard count.
+  stats::Welford fold = hits_response;
+  for (const auto& m : per_disk) {
+    power.energy += m.energy_j;
+    power.always_on_energy += m.always_on_j;
+    power.spin_ups += m.spin_ups;
+    power.spin_downs += m.spin_downs;
+    for (std::size_t i = 0; i < disk::kPowerStateCount; ++i) {
+      power.state_time[i] += m.state_time[i];
+    }
+    completed_at_horizon += m.served;
+    in_flight_at_horizon += m.queued + m.in_service;
+    fold.merge(m.response);
+  }
+  power.average_power =
+      power.horizon_s > 0.0 ? power.energy / power.horizon_s : 0.0;
+  power.saving_vs_always_on =
+      power.always_on_energy > 0.0
+          ? 1.0 - power.energy / power.always_on_energy
+          : 0.0;
+  response = stats::ResponseSummary::from_parts(fold, hist);
+}
+
+RunResult& RunResult::merge(const RunResult& other) {
+  // A default-constructed RunResult acts as the fold identity.
+  const bool identity = per_disk.empty() && response.count() == 0 &&
+                        requests == 0 && power.horizon_s == 0.0;
+  if (identity) {
+    power.horizon_s = other.power.horizon_s;
+  } else if (power.horizon_s != other.power.horizon_s) {
+    throw std::invalid_argument{
+        "RunResult::merge: operands measured over different horizons"};
+  }
+  std::vector<disk::DiskMetrics> merged;
+  merged.reserve(per_disk.size() + other.per_disk.size());
+  std::merge(per_disk.begin(), per_disk.end(), other.per_disk.begin(),
+             other.per_disk.end(), std::back_inserter(merged),
+             [](const disk::DiskMetrics& a, const disk::DiskMetrics& b) {
+               return a.disk_id < b.disk_id;
+             });
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    if (merged[i - 1].disk_id == merged[i].disk_id) {
+      throw std::invalid_argument{
+          "RunResult::merge: operands share disk id " +
+          std::to_string(merged[i].disk_id) +
+          " (sub-simulations must cover disjoint disk groups)"};
+    }
+  }
+  per_disk = std::move(merged);
+  hits_response.merge(other.hits_response);
+  cache.hits += other.cache.hits;
+  cache.misses += other.cache.misses;
+  cache.evictions += other.cache.evictions;
+  requests += other.requests;
+  events += other.events;
+  auto hist = response.histogram();
+  hist.merge(other.response.histogram());
+  recompute_from_per_disk(hist);
+  return *this;
+}
+
 StorageSystem::StorageSystem(const workload::FileCatalog& catalog,
                              std::vector<std::uint32_t> mapping,
                              std::uint32_t num_disks, disk::DiskParams params,
@@ -212,10 +285,22 @@ RunResult StorageSystem::run(workload::RequestStream& stream,
   }
 
   RunResult result;
+  // Response accumulation is canonical, not chronological: per-disk Welford
+  // moments (folded in disk-id order at finalize) plus one shared histogram
+  // (bin-wise integer adds commute).  Completion order — which depends on
+  // how the calendar interleaves disks, and would differ between a single
+  // calendar and a sharded run at equal-timestamp completions — never
+  // touches the result.
+  std::vector<stats::Welford> per_disk_response(num_disks_);
+  stats::LinearHistogram hist{stats::ResponseSummary::kHistLo,
+                              stats::ResponseSummary::kHistHi,
+                              stats::ResponseSummary::kHistBins};
   for (auto& d : disks) {
-    d->set_completion_callback([&result](const disk::Completion& c) {
-      result.response.add(c.response_time());
-    });
+    d->set_completion_callback(
+        [&per_disk_response, &hist](const disk::Completion& c) {
+          per_disk_response[c.disk_id].add(c.response_time());
+          hist.add(c.response_time());
+        });
   }
 
   std::vector<disk::Disk*> disk_ptrs;
@@ -224,8 +309,9 @@ RunResult StorageSystem::run(workload::RequestStream& stream,
 
   Dispatcher dispatcher{sim,       catalog_, mapping_,
                         disk_ptrs, cache_,   cache_hit_latency_};
-  dispatcher.set_hit_callback([&result](std::uint64_t, double latency) {
-    result.response.add(latency);
+  dispatcher.set_hit_callback([&result, &hist](std::uint64_t, double latency) {
+    result.hits_response.add(latency);
+    hist.add(latency);
   });
 
   // Pull-scheduled arrivals: each arrival event dispatches and schedules the
@@ -272,31 +358,15 @@ RunResult StorageSystem::run(workload::RequestStream& stream,
   }
 
   result.requests = dispatcher.dispatched();
+  result.events = sim.executed();
   result.power.horizon_s = horizon;
-  double position_s = 0.0;
-  double transfer_s = 0.0;
-  for (const auto& m : snapshot) {
-    result.power.energy += m.energy(params_);
-    result.power.spin_ups += m.spin_ups;
-    result.power.spin_downs += m.spin_downs;
-    for (std::size_t i = 0; i < disk::kPowerStateCount; ++i) {
-      result.power.state_time[i] += m.state_time[i];
-    }
-    position_s += m.time_in(disk::PowerState::kPositioning);
-    transfer_s += m.time_in(disk::PowerState::kTransfer);
-    result.completed_at_horizon += m.served;
-    result.in_flight_at_horizon += m.queued + m.in_service;
-  }
+  // The snapshot freezes the power/queue counters at the horizon; response
+  // moments cover the whole episode (post-horizon drain included), so they
+  // are attached after the calendar empties.
+  for (auto& m : snapshot) m.response = per_disk_response[m.disk_id];
   result.per_disk = std::move(snapshot);
-  result.power.average_power =
-      horizon > 0.0 ? result.power.energy / horizon : 0.0;
-  result.power.always_on_energy =
-      always_on_energy(params_, num_disks_, horizon, position_s, transfer_s);
-  result.power.saving_vs_always_on =
-      result.power.always_on_energy > 0.0
-          ? 1.0 - result.power.energy / result.power.always_on_energy
-          : 0.0;
   if (cache_ != nullptr) result.cache = cache_->stats();
+  result.recompute_from_per_disk(hist);
   return result;
 }
 

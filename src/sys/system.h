@@ -129,9 +129,21 @@ struct PowerReport {
 struct RunResult {
   PowerReport power;
   stats::ResponseSummary response;
+  /// Response moments of the cache-hit stream alone (zero when no cache).
+  /// Kept separate from `response` because the canonical aggregation —
+  /// shared by the single-calendar path, the fleet path, and merge() —
+  /// rebuilds `response` as fold(hits, per-disk moments in disk-id order),
+  /// which is what makes the result independent of shard count.
+  stats::Welford hits_response;
   cache::CacheStats cache;     ///< zeros when no cache configured
   std::uint64_t requests = 0;
-  std::vector<disk::DiskMetrics> per_disk; ///< at the horizon
+  /// Calendar events executed (summed across shards for a fleet run): the
+  /// numerator of the events/s throughput figure.  An engine statistic,
+  /// not a physical result — the sharded path pre-routes arrivals instead
+  /// of scheduling them as calendar events, so `events` varies with shard
+  /// count while every physical field is shard-invariant.
+  std::uint64_t events = 0;
+  std::vector<disk::DiskMetrics> per_disk; ///< at the horizon, disk-id order
   /// Horizon accounting (from the same snapshot as per_disk/energy, so every
   /// dispatched request is counted exactly once at the horizon).  When the
   /// stream's arrivals all land inside [0, horizon) — true for every
@@ -146,6 +158,28 @@ struct RunResult {
   std::uint64_t completed_at_horizon = 0; ///< sum of per-disk served
   /// Sum of per-disk queued + in_service at the horizon.
   std::uint64_t in_flight_at_horizon = 0;
+
+  /// Combine the result of a disjoint disk-group sub-simulation of the same
+  /// scenario window into this one.  Requires equal horizons and disjoint
+  /// per_disk disk ids (throws std::invalid_argument otherwise).  Every
+  /// per-disk-derived aggregate — power totals, horizon accounting, and the
+  /// response summary — is *recomputed* from the merged per_disk vector in
+  /// disk-id order rather than combined from the operands' aggregates, so
+  /// merge is associative and order-independent bit-for-bit by
+  /// construction, and a fold over any shard partition reproduces the
+  /// single-calendar run exactly.  Caveat: `hits_response` is combined with
+  /// Chan's formula, so bitwise reproducibility requires that at most one
+  /// operand in a merge tree carries cache hits (true for fleet partials:
+  /// the router-side partial owns all hits).
+  RunResult& merge(const RunResult& other);
+
+  /// Recompute the per-disk-derived aggregates of this result — power
+  /// totals, completed/in-flight accounting, and response =
+  /// fold(hits_response, per_disk[i].response in disk-id order) over
+  /// `hist` — the canonical finalize shared by StorageSystem::run, the
+  /// fleet path, and merge().  per_disk must be sorted by disk_id and
+  /// power.horizon_s set.
+  void recompute_from_per_disk(const stats::LinearHistogram& hist);
 };
 
 class StorageSystem {

@@ -40,16 +40,22 @@ struct Golden {
 };
 
 // Captured 2026-07-29 from the pre-refactor simulator (see file comment).
+// Re-derived 2026-08-07 for the fleet-sharding PR: result aggregation became
+// canonical (response moments folded hits-first then per-disk in disk-id
+// order instead of completion order; always-on energy summed per disk
+// instead of farm-total), so `saving` and `resp_mean` moved by a few ulps.
+// Event order, per-request response times, energy integrals, counts, and
+// the histogram (max/p99) are bit-identical to the pre-refactor capture.
 constexpr Golden kGolden[3] = {
     // break-even policy, no cache
-    {979, 850, 333869.73696331761, -0.012003370049414874, 36, 36, 979,
-     87.484344294067469, 445.03087415307198, 372.42100000000005, 0},
+    {979, 850, 333869.73696331761, -0.012003370049414652, 36, 36, 979,
+     87.484344294067441, 445.03087415307198, 372.42100000000005, 0},
     // fixed 10 s threshold, no cache
     {979, 841, 334767.04675768159, -0.01672900557172019, 114, 116, 979,
-     93.809647009646497, 445.03087415307198, 373.92100000000005, 0},
+     93.809647009646525, 445.03087415307198, 373.92100000000005, 0},
     // never spin down, 30 GB LRU front cache
     {979, 828, 328848.00923895644, 2.2204460492503131e-16, 0, 0, 979,
-     79.06676276623088, 416.47659966191691, 362.92100000000005, 31},
+     79.066762766230838, 416.47659966191691, 362.92100000000005, 31},
 };
 
 TEST(GoldenGuard, FcfsDefaultReproducesPreRefactorSweepExactly) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 namespace spindown::stats {
 namespace {
@@ -60,6 +61,55 @@ TEST(LinearHistogram, PercentileEdgeCases) {
   EXPECT_LE(p50, 6.0);
 }
 
+TEST(LinearHistogram, MergeIsExactBinwise) {
+  LinearHistogram a{0.0, 10.0, 5};
+  LinearHistogram b{0.0, 10.0, 5};
+  a.add(-1.0);   // underflow
+  a.add(2.5);    // bin 1
+  b.add(2.7, 3); // bin 1
+  b.add(100.0);  // overflow
+  a.merge(b);
+  EXPECT_EQ(a.bin_count(1), 4u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.total(), 6u);
+}
+
+TEST(LinearHistogram, MergeOrderIndependent) {
+  // Integer adds commute: parts merged in either order equal the histogram
+  // built from the union — the property sharded aggregation relies on.
+  LinearHistogram union_h{0.0, 100.0, 50};
+  LinearHistogram ab{0.0, 100.0, 50}, ba{0.0, 100.0, 50};
+  LinearHistogram a{0.0, 100.0, 50}, b{0.0, 100.0, 50};
+  for (int i = 0; i < 200; ++i) {
+    const double x = 0.7 * i - 20.0; // spans under/in/overflow
+    union_h.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  ab.merge(a);
+  ab.merge(b);
+  ba.merge(b);
+  ba.merge(a);
+  for (std::size_t i = 0; i < union_h.bins(); ++i) {
+    EXPECT_EQ(ab.bin_count(i), union_h.bin_count(i));
+    EXPECT_EQ(ba.bin_count(i), union_h.bin_count(i));
+  }
+  EXPECT_EQ(ab.underflow(), union_h.underflow());
+  EXPECT_EQ(ab.overflow(), union_h.overflow());
+  EXPECT_EQ(ab.total(), union_h.total());
+  EXPECT_EQ(ba.total(), union_h.total());
+}
+
+TEST(LinearHistogram, MergeRejectsGeometryMismatch) {
+  LinearHistogram a{0.0, 10.0, 5};
+  const LinearHistogram wrong_bins{0.0, 10.0, 6};
+  const LinearHistogram wrong_hi{0.0, 20.0, 5};
+  const LinearHistogram wrong_lo{1.0, 10.0, 5};
+  EXPECT_THROW(a.merge(wrong_bins), std::invalid_argument);
+  EXPECT_THROW(a.merge(wrong_hi), std::invalid_argument);
+  EXPECT_THROW(a.merge(wrong_lo), std::invalid_argument);
+}
+
 TEST(LogHistogram, GeometricBinning) {
   LogHistogram h{1.0, 1000.0, 3}; // bins: [1,10), [10,100), [100,1000)
   h.add(2.0);
@@ -98,6 +148,28 @@ TEST(LogHistogram, ProportionsSumToOneWhenAllBinned) {
   for (double p : props) sum += p;
   EXPECT_NEAR(sum, 1.0, 1e-12);
   EXPECT_EQ(props.size(), 80u);
+}
+
+TEST(LogHistogram, MergeIsExactBinwise) {
+  LogHistogram a{1.0, 1000.0, 3};
+  LogHistogram b{1.0, 1000.0, 3};
+  a.add(2.0);
+  a.add(0.0); // non-positive: counted in total, binned nowhere
+  b.add(20.0, 5);
+  b.add(200.0);
+  a.merge(b);
+  EXPECT_EQ(a.bin_count(0), 1u);
+  EXPECT_EQ(a.bin_count(1), 5u);
+  EXPECT_EQ(a.bin_count(2), 1u);
+  EXPECT_EQ(a.total(), 8u);
+}
+
+TEST(LogHistogram, MergeRejectsGeometryMismatch) {
+  LogHistogram a{1.0, 1000.0, 3};
+  const LogHistogram wrong_bins{1.0, 1000.0, 4};
+  const LogHistogram wrong_range{1.0, 100.0, 3};
+  EXPECT_THROW(a.merge(wrong_bins), std::invalid_argument);
+  EXPECT_THROW(a.merge(wrong_range), std::invalid_argument);
 }
 
 TEST(LogHistogram, PowerLawIsLogLogLinear) {

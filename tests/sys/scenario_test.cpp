@@ -146,6 +146,26 @@ TEST(ScenarioSpec, ParseRejectsBadInput) {
                std::invalid_argument);
 }
 
+TEST(ScenarioSpec, ShardsKeyRoundTrips) {
+  // Default (1) is omitted from the canonical string; "auto" renders the
+  // stored 0; explicit counts round-trip.  Out-of-range counts are grammar
+  // errors, not silent clamps.
+  const ScenarioSpec base;
+  EXPECT_EQ(base.shards, 1u);
+  EXPECT_EQ(base.spec().find("shards"), std::string::npos);
+  const auto autos = base.with("shards", "auto");
+  EXPECT_EQ(autos.shards, 0u);
+  EXPECT_NE(autos.spec().find("shards=auto"), std::string::npos);
+  EXPECT_EQ(ScenarioSpec::parse(autos.spec()), autos);
+  const auto eight = base.with("shards", "8");
+  EXPECT_EQ(eight.shards, 8u);
+  EXPECT_EQ(ScenarioSpec::parse(eight.spec()), eight);
+  EXPECT_EQ(eight.with("shards", "1").spec(), base.spec());
+  EXPECT_THROW(ScenarioSpec::parse("shards=0"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("shards=257"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("shards=many"), std::invalid_argument);
+}
+
 TEST(ScenarioSpec, WithReassignsOneKey) {
   const ScenarioSpec base;
   const auto swept = base.with("policy", "fixed:60");

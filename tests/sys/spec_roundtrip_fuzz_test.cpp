@@ -142,6 +142,15 @@ public:
     s.cache = cache();
     s.workload = workload();
     s.seed = integer(0, ~0ULL >> 1);
+    // Mostly the default (omitted from the canonical string), sometimes an
+    // explicit count or "auto" (rendered for shards == 0).
+    switch (integer(0, 3)) {
+      case 0: s.shards = 0; break;
+      case 1:
+        s.shards = static_cast<std::uint32_t>(integer(2, 256));
+        break;
+      default: s.shards = 1; break;
+    }
     return s;
   }
 

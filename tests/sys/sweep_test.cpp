@@ -105,6 +105,55 @@ TEST(RunSweep, DeterministicAcrossThreadCounts) {
   }
 }
 
+TEST(RunSweep, DeterministicAcrossShardCounts) {
+  // The same adaptive × non-stationary grid, but varying the *intra-run*
+  // parallelism: each config re-run with the calendar sharded 2/4/8 ways
+  // must reproduce the single-calendar results bit for bit.  (Shard counts
+  // above the farm size clamp — still a valid configuration.)
+  const auto cat = sweep_catalog();
+  std::vector<ExperimentConfig> configs;
+  const std::vector<PolicySpec> policies{
+      PolicySpec::break_even(), PolicySpec::randomized(), PolicySpec::ewma(),
+      PolicySpec::share(), PolicySpec::slack(10.0)};
+  const std::vector<WorkloadSpec> workloads{
+      WorkloadSpec::poisson(1.0, 150.0),
+      WorkloadSpec::nhpp({{0.0, 2.0}, {50.0, 0.2}}, 150.0, 100.0),
+      WorkloadSpec::mmpp({{2.0, 0.1}, {40.0, 80.0}}, 150.0)};
+  for (const auto& p : policies) {
+    for (const auto& w : workloads) {
+      auto cfg = config_with_rate(cat, 1.0);
+      cfg.policy = p;
+      cfg.workload = w;
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const auto serial = run_sweep(configs, 1);
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    auto sharded_configs = configs;
+    for (auto& cfg : sharded_configs) cfg.shards = shards;
+    const auto sharded = run_sweep(sharded_configs, 2);
+    ASSERT_EQ(serial.size(), sharded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("config " + std::to_string(i) + " shards " +
+                   std::to_string(shards));
+      EXPECT_EQ(serial[i].requests, sharded[i].requests);
+      EXPECT_DOUBLE_EQ(serial[i].power.energy, sharded[i].power.energy);
+      EXPECT_DOUBLE_EQ(serial[i].power.saving_vs_always_on,
+                       sharded[i].power.saving_vs_always_on);
+      EXPECT_EQ(serial[i].power.spin_downs, sharded[i].power.spin_downs);
+      EXPECT_EQ(serial[i].power.spin_ups, sharded[i].power.spin_ups);
+      EXPECT_EQ(serial[i].response.count(), sharded[i].response.count());
+      EXPECT_DOUBLE_EQ(serial[i].response.mean(), sharded[i].response.mean());
+      EXPECT_DOUBLE_EQ(serial[i].response.max(), sharded[i].response.max());
+      EXPECT_DOUBLE_EQ(serial[i].response.p99(), sharded[i].response.p99());
+      EXPECT_EQ(serial[i].completed_at_horizon,
+                sharded[i].completed_at_horizon);
+      EXPECT_EQ(serial[i].in_flight_at_horizon,
+                sharded[i].in_flight_at_horizon);
+    }
+  }
+}
+
 TEST(RunSweep, PropagatesWorkerExceptions) {
   const auto cat = sweep_catalog();
   auto bad = config_with_rate(cat, 1.0);
