@@ -2,25 +2,43 @@
 //
 // One scenario, thousands of disks: a synthetic farm at ~0.6 per-disk
 // utilization (24.4 req/s per spindle — 1e5 req/s aggregate at 4096 disks)
-// is run through the single-calendar path and through sys/fleet.h at 2/4/8
-// shards.  Self-timed (std::chrono); each row reports calendar events
-// executed, wall-clock, events/s and the wall-clock speedup over shards=1
-// at the same scale.  Every sharded run is also checked bit-for-bit against
-// the single-calendar result (energy, response mean/count, spin-ups), so
-// the bench doubles as a large-scale determinism smoke test.
+// is run through the single-calendar path and through both sys/fleet.h
+// pipelines at 2/4/8 shards:
 //
-// `events` is an engine statistic, not a physical result: the fleet path
-// pre-routes arrivals instead of scheduling them as calendar events, so the
+//   path=single  shards=1, the plain StorageSystem calendar (baseline)
+//   path=local   the routerless fast path (cache=none farms qualify):
+//                workers generate arrivals shard-locally, no router thread
+//   path=routed  the pipelined router (forced here for comparison; it is
+//                what any cache-ful scenario gets), SPSC rings + recycled
+//                batch arenas
+//
+// Self-timed (std::chrono); each row reports calendar events executed,
+// wall-clock, events/s and the wall-clock speedup over shards=1 at the
+// same scale.  Every sharded run is also checked bit-for-bit against the
+// single-calendar result (energy, response mean/count, spin-ups), so the
+// bench doubles as a large-scale determinism smoke test across both
+// pipelines.  --json additionally emits one kind="shard" row per shard
+// with the FleetPerf counters (submissions, batches, events, ring
+// high-water, worker busy/wait), so routing regressions are diagnosable
+// from BENCH_fleet.json alone.
+//
+// `events` is an engine statistic, not a physical result: the fleet paths
+// pre-route arrivals instead of scheduling them as calendar events, so the
 // sharded rows execute fewer events for the same physics.  events/s is
 // therefore comparable within a shard count, wall-clock across all of them.
 //
 // Usage:
-//   fleet_throughput [--quick] [--json <path>] [--seed <n>]
+//   fleet_throughput [--quick] [--force-router] [--reps <n>] [--json <path>]
+//                    [--seed <n>]
 //
 // --quick shrinks the farm sizes and horizons to a smoke-test size (CI runs
-// this; timing is not asserted).  BENCH_fleet.json at the repo root is the
-// committed snapshot regenerated via:
+// this; timing is not asserted).  --force-router drops the path=local rows
+// and exercises only the router pipeline (CI runs this variant too, so
+// both pipelines stay covered even where classification would pick the
+// fast path).  BENCH_fleet.json at the repo root is the committed snapshot
+// regenerated via:
 //   ./build/bench/fleet_throughput --json BENCH_fleet.json
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <iostream>
@@ -30,6 +48,7 @@
 
 #include "bench_common.h"
 #include "sys/experiment.h"
+#include "sys/fleet.h"
 #include "util/cli.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -58,6 +77,7 @@ workload::FileCatalog farm_catalog(std::uint32_t disks) {
 struct Row {
   std::uint32_t disks = 0;
   std::uint32_t shards = 0;
+  std::string path;
   double rate = 0.0;
   double horizon_s = 0.0;
   std::uint64_t requests = 0;
@@ -72,21 +92,35 @@ struct Row {
   }
 };
 
+const char* path_name(sys::FleetPath path) {
+  return path == sys::FleetPath::kShardLocal ? "local" : "routed";
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli{argc, argv};
   if (cli.has("help")) {
-    std::cout << "usage: " << cli.program()
-              << " [--quick] [--json <path>] [--seed <n>]\n"
-              << "Scales one scenario across 64/512/4096 disks and 1/2/4/8\n"
-              << "calendar shards (sys/fleet.h); reports events/s and the\n"
-              << "wall-clock speedup over the single calendar, and verifies\n"
-              << "the sharded results are bit-identical to it.\n";
+    std::cout
+        << "usage: " << cli.program()
+        << " [--quick] [--force-router] [--reps <n>] [--json <path>]"
+           " [--seed <n>]\n"
+        << "Scales one scenario across 64/512/4096 disks and 1/2/4/8\n"
+        << "calendar shards, on both fleet pipelines (routerless fast\n"
+        << "path and pipelined router; --force-router keeps only the\n"
+        << "latter); reports events/s and the wall-clock speedup over\n"
+        << "the single calendar, and verifies every sharded result is\n"
+        << "bit-identical to it.\n";
     return 0;
   }
   const bool quick = cli.has("quick");
+  const bool force_router = cli.has("force-router");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  // Wall-clock per row is the best of `reps` runs: the simulation is
+  // deterministic, so repetition only strips scheduler/cache noise from
+  // the timing (the result is checked bit-identical on every rep).
+  const int reps = std::max(
+      1, static_cast<int>(cli.get_int("reps", quick ? 1 : 3)));
   // Measurement sized per scale so every farm processes the same request
   // volume: horizon = target / rate.
   const double target_requests = quick ? 2.0e4 : 4.0e5;
@@ -94,9 +128,13 @@ int main(int argc, char** argv) {
       quick ? std::vector<std::uint32_t>{64, 512}
             : std::vector<std::uint32_t>{64, 512, 4096};
   const std::vector<std::uint32_t> shard_counts{1, 2, 4, 8};
+  std::vector<sys::FleetPath> paths;
+  if (!force_router) paths.push_back(sys::FleetPath::kShardLocal);
+  paths.push_back(sys::FleetPath::kRouted);
 
   std::cout << "== fleet_throughput ==\n"
-            << "   " << (quick ? "--quick" : "full") << "; "
+            << "   " << (quick ? "--quick" : "full")
+            << (force_router ? ", --force-router" : "") << "; "
             << kRatePerDisk << " req/s per disk, ~"
             << static_cast<std::uint64_t>(target_requests)
             << " requests per scale; " << std::thread::hardware_concurrency()
@@ -110,12 +148,15 @@ int main(int argc, char** argv) {
   if (json != nullptr) {
     json->meta("rate_per_disk", kRatePerDisk);
     json->meta("target_requests", target_requests);
+    json->meta("force_router", force_router);
+    json->meta("reps", static_cast<std::int64_t>(reps));
     json->meta("hardware_threads",
                static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   }
 
-  util::TablePrinter table{{"disks", "shards", "requests", "events", "wall (s)",
-                            "events/s", "req/s", "speedup", "identical"}};
+  util::TablePrinter table{{"disks", "shards", "path", "requests", "events",
+                            "wall (s)", "events/s", "req/s", "speedup",
+                            "identical"}};
   bool all_identical = true;
 
   for (const std::uint32_t disks : farm_sizes) {
@@ -133,67 +174,132 @@ int main(int argc, char** argv) {
     cfg.workload = sys::WorkloadSpec::poisson(rate, horizon);
     cfg.seed = seed;
 
+    // Baseline: the single calendar (shards=1 takes the StorageSystem
+    // path inside run_experiment).
+    cfg.shards = 1;
     sys::RunResult baseline;
     double baseline_wall = 0.0;
-    for (const std::uint32_t shards : shard_counts) {
-      cfg.shards = shards;
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto result = sys::run_experiment(cfg);
-      const double wall =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto b0 = std::chrono::steady_clock::now();
+      baseline = sys::run_experiment(cfg);
+      const double wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - b0)
+                              .count();
+      baseline_wall = rep == 0 ? wall : std::min(baseline_wall, wall);
+    }
 
-      Row row;
-      row.disks = disks;
-      row.shards = shards;
-      row.rate = rate;
-      row.horizon_s = horizon;
-      row.requests = result.requests;
-      row.events = result.events;
-      row.wall_s = wall;
-      if (shards == 1) {
-        baseline = result;
-        baseline_wall = wall;
-      }
-      row.speedup = row.wall_s > 0 ? baseline_wall / row.wall_s : 0.0;
-      row.identical =
-          result.power.energy == baseline.power.energy &&
-          result.power.saving_vs_always_on ==
-              baseline.power.saving_vs_always_on &&
-          result.response.count() == baseline.response.count() &&
-          result.response.mean() == baseline.response.mean() &&
-          result.response.max() == baseline.response.max() &&
-          result.power.spin_ups == baseline.power.spin_ups &&
-          result.requests == baseline.requests;
-      all_identical = all_identical && row.identical;
-
+    const auto emit = [&](const Row& row, const sys::FleetPerf* perf) {
       table.add_row({std::to_string(row.disks), std::to_string(row.shards),
-                     std::to_string(row.requests), std::to_string(row.events),
+                     row.path, std::to_string(row.requests),
+                     std::to_string(row.events),
                      util::format_double(row.wall_s, 3),
                      util::format_double(row.events_per_sec(), 0),
                      util::format_double(row.requests_per_sec(), 0),
                      util::format_double(row.speedup, 2),
                      row.identical ? "yes" : "NO"});
-      if (json != nullptr) {
-        json->row({{"disks", row.disks},
-                   {"shards", row.shards},
-                   {"rate_req_per_s", row.rate},
-                   {"horizon_s", row.horizon_s},
-                   {"requests", row.requests},
-                   {"events", row.events},
-                   {"wall_s", row.wall_s},
-                   {"events_per_sec", row.events_per_sec()},
-                   {"requests_per_sec", row.requests_per_sec()},
-                   {"speedup_vs_single", row.speedup},
-                   {"identical_to_single", row.identical}});
+      if (json == nullptr) return;
+      json->row({{"kind", "run"},
+                 {"disks", row.disks},
+                 {"shards", row.shards},
+                 {"path", row.path},
+                 {"rate_req_per_s", row.rate},
+                 {"horizon_s", row.horizon_s},
+                 {"requests", row.requests},
+                 {"events", row.events},
+                 {"wall_s", row.wall_s},
+                 {"events_per_sec", row.events_per_sec()},
+                 {"requests_per_sec", row.requests_per_sec()},
+                 {"speedup_vs_single", row.speedup},
+                 {"identical_to_single", row.identical},
+                 {"workers", perf != nullptr ? perf->workers : 1u},
+                 {"router_busy_s", perf != nullptr ? perf->router_busy_s : 0.0},
+                 {"router_stall_s",
+                  perf != nullptr ? perf->router_stall_s : 0.0}});
+      if (perf == nullptr) return;
+      for (const auto& s : perf->per_shard) {
+        // Worker timings index workers, not shards; they coincide on the
+        // routed path (one worker per shard).  On the fast path a worker
+        // may drive several shards, so charge its times to each shard it
+        // owns (shard s belongs to worker s % workers by construction).
+        const std::size_t w = s.shard % perf->workers;
+        json->row(
+            {{"kind", "shard"},
+             {"disks", row.disks},
+             {"shards", row.shards},
+             {"path", row.path},
+             {"shard", s.shard},
+             {"submissions", s.submissions},
+             {"batches", s.batches},
+             {"events", s.events},
+             {"events_per_sec",
+              row.wall_s > 0 ? s.events / row.wall_s : 0.0},
+             {"ring_high_water", static_cast<std::uint64_t>(s.ring_high_water)},
+             {"worker_busy_s", perf->worker_busy_s[w]},
+             {"worker_wait_s", perf->worker_wait_s[w]}});
+      }
+    };
+
+    {
+      Row row;
+      row.disks = disks;
+      row.shards = 1;
+      row.path = "single";
+      row.rate = rate;
+      row.horizon_s = horizon;
+      row.requests = baseline.requests;
+      row.events = baseline.events;
+      row.wall_s = baseline_wall;
+      row.speedup = 1.0;
+      row.identical = true;
+      emit(row, nullptr);
+    }
+
+    for (const std::uint32_t shards : shard_counts) {
+      if (shards == 1) continue; // the single-calendar row above
+      for (const sys::FleetPath path : paths) {
+        sys::FleetPerf perf;
+        sys::RunResult result;
+        double wall = 0.0;
+        for (int rep = 0; rep < reps; ++rep) {
+          const auto t0 = std::chrono::steady_clock::now();
+          result = sys::run_fleet(cfg, shards, path, &perf);
+          const double rep_wall = std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() - t0)
+                                      .count();
+          wall = rep == 0 ? rep_wall : std::min(wall, rep_wall);
+        }
+
+        Row row;
+        row.disks = disks;
+        row.shards = shards;
+        row.path = path_name(path);
+        row.rate = rate;
+        row.horizon_s = horizon;
+        row.requests = result.requests;
+        row.events = result.events;
+        row.wall_s = wall;
+        row.speedup = row.wall_s > 0 ? baseline_wall / row.wall_s : 0.0;
+        row.identical =
+            result.power.energy == baseline.power.energy &&
+            result.power.saving_vs_always_on ==
+                baseline.power.saving_vs_always_on &&
+            result.response.count() == baseline.response.count() &&
+            result.response.mean() == baseline.response.mean() &&
+            result.response.max() == baseline.response.max() &&
+            result.power.spin_ups == baseline.power.spin_ups &&
+            result.requests == baseline.requests;
+        all_identical = all_identical && row.identical;
+        emit(row, &perf);
       }
     }
   }
 
   table.print(std::cout);
   std::cout << "\ndeterminism: "
-            << (all_identical ? "every sharded run bit-identical to shards=1"
-                              : "MISMATCH against shards=1 (bug)")
+            << (all_identical
+                    ? "every sharded run bit-identical to shards=1, on "
+                      "every pipeline"
+                    : "MISMATCH against shards=1 (bug)")
             << "\n";
   if (json != nullptr) {
     json->meta("all_identical", all_identical);

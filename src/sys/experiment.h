@@ -143,6 +143,12 @@ struct CacheSpec {
 
   /// nullptr for kNone.
   std::unique_ptr<cache::FileCache> make() const;
+
+  /// True when the cache never couples requests routed to different disks
+  /// — i.e. there is no cache — so a sharded fleet run may skip the router
+  /// and generate arrivals shard-locally (sys/fleet.h FleetPath).  Any
+  /// real cache is shared mutable state keyed by global arrival order.
+  bool shard_decomposable() const { return kind == Kind::kNone; }
 };
 
 struct ExperimentConfig {
@@ -162,10 +168,17 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
   /// Shard the run's event calendar across this many per-disk-group
   /// sub-simulations (sys/fleet.h).  1 = the single-calendar path; 0 =
-  /// auto (one shard per hardware thread, clamped to the farm size).
+  /// auto (one shard per hardware thread, clamped so every shard owns at
+  /// least fleet.h's kAutoMinDisksPerShard disks).
   /// Sharding changes wall-clock only: every physical result field is
   /// bit-identical at any shard count.
   std::uint32_t shards = 1;
+  /// Set by scenario resolution when the placement does NOT reduce to the
+  /// static `mapping` vector above (PlacementSpec::static_mapping false —
+  /// no built-in placement today; reserved for replica-aware redirection
+  /// and similar).  Forces sharded runs onto the router path even with
+  /// cache=none, because routing then depends on global arrival order.
+  bool dynamic_routing = false;
 };
 
 /// Run one experiment to completion.  Deterministic given the config.

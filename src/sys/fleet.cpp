@@ -1,12 +1,10 @@
 #include "sys/fleet.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <deque>
+#include <chrono>
 #include <exception>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -16,15 +14,36 @@
 #include "stats/summary.h"
 #include "stats/welford.h"
 #include "util/rng.h"
+#include "util/spsc_ring.h"
 #include "workload/stream.h"
 
 namespace spindown::sys {
 namespace {
 
+// FleetPerf pipeline diagnostics only: the measured durations are reported
+// to benches and never touch a RunResult.
+// DETERMINISM-OK(wall-clock): perf counters, never simulation input.
+using PerfClock = std::chrono::steady_clock;
+
+double seconds_since(PerfClock::time_point t0) {
+  return std::chrono::duration<double>(PerfClock::now() - t0).count();
+}
+
+/// Ring capacity and arena count per routed shard: bounds router run-ahead
+/// (and batch memory) without stalling workers that lag a window or two.
+/// Because the router can only hold batches it popped from the free ring,
+/// the full ring can never overflow — the free ring is the one
+/// backpressure point in the pipeline.
+constexpr std::size_t kBatchesPerShard = 16;
+
+constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
+
 /// Pre-routed submissions for one shard, one synchronization window.
 /// Structure-of-arrays like workload::RequestBlock: the worker's replay
 /// loop touches time[] on every iteration but the payload fields only at
-/// submit time.
+/// submit time.  Instances live in per-shard arenas and are recycled
+/// through the free ring — reset() keeps vector capacity, so the steady
+/// state allocates nothing.
 struct ShardBatch {
   std::vector<double> time;
   std::vector<std::uint64_t> request_id;
@@ -47,143 +66,555 @@ struct ShardBatch {
     blocks.push_back(nblocks);
     local_disk.push_back(disk);
   }
+  void reset() {
+    time.clear();
+    request_id.clear();
+    bytes.clear();
+    lba.clear();
+    blocks.clear();
+    local_disk.clear();
+    advance_to = 0.0;
+    final = false;
+  }
 };
 
-/// Mailbox depth per shard: bounds router run-ahead (and batch memory)
-/// without stalling workers that lag a window or two.
-constexpr std::size_t kMaxQueuedBatches = 16;
+/// One shard's private calendar: the disks with id % shards == shard
+/// (local index l holds global disk shard + l * shards), per-disk response
+/// accumulators, and the horizon-snapshot rule — identical for both
+/// pipelines, and structurally the same episode as StorageSystem::run.
+/// Heap-allocated and never moved: the completion callbacks capture member
+/// addresses.
+class ShardSim {
+public:
+  ShardSim(const ExperimentConfig& config, double horizon,
+           const std::vector<std::uint32_t>& disk_ids,
+           const std::vector<util::Rng>& rngs,
+           const std::vector<const PolicySpec*>& policies)
+      : horizon_(horizon) {
+    disks_.reserve(disk_ids.size());
+    responses_.resize(disk_ids.size());
+    for (std::size_t l = 0; l < disk_ids.size(); ++l) {
+      disks_.push_back(std::make_unique<disk::Disk>(
+          sim_, disk_ids[l], config.params, policies[l]->make(config.params),
+          rngs[l], config.scheduler.make()));
+      disks_.back()->set_completion_callback(
+          [&resp = responses_[l], this](const disk::Completion& c) {
+            resp.add(c.response_time());
+            hist_.add(c.response_time());
+          });
+    }
+  }
+  ShardSim(const ShardSim&) = delete;
+  ShardSim& operator=(const ShardSim&) = delete;
 
-/// One shard: a private calendar plus the disks with id % shards == index.
-/// The router thread fills the mailbox; the worker thread replays batches
-/// with run_until(arrival) + submit() and finalizes into `partial`.
-struct ShardState {
-  // Inputs, set before the thread starts.
-  const ExperimentConfig* config = nullptr;
-  std::vector<std::uint32_t> disk_ids;      ///< global ids, ascending
-  std::vector<util::Rng> rngs;              ///< one per disk, pre-split
-  std::vector<const PolicySpec*> policies;  ///< one per disk
+  /// Fixed tie rule: every pending disk event at t <= arrival runs before
+  /// a submission at t — identical at any shard count.  The horizon
+  /// snapshot (freezing the power/queue counters) is taken before the
+  /// local clock first passes the horizon, exactly like the
+  /// single-calendar path's snapshot event.
+  void advance(double t) {
+    if (snapshot_.empty() && t >= horizon_) {
+      sim_.run_until(horizon_);
+      snapshot_.reserve(disks_.size());
+      for (const auto& d : disks_) snapshot_.push_back(d->metrics(horizon_));
+    }
+    sim_.run_until(t);
+  }
+
+  void submit(std::uint32_t local_disk, std::uint64_t request_id,
+              util::Bytes bytes, std::uint64_t lba, std::uint64_t blocks) {
+    disks_[local_disk]->submit(request_id, bytes, lba, blocks);
+    ++submissions_;
+  }
+
+  double now() const { return sim_.now(); }
+  std::uint64_t submissions() const { return submissions_; }
+
+  /// Drain: in-flight services run to completion past the horizon and
+  /// still record their response times — the same episode structure as
+  /// the single-calendar path.
+  RunResult finalize() {
+    advance(horizon_);
+    sim_.run();
+    for (std::size_t l = 0; l < snapshot_.size(); ++l) {
+      snapshot_[l].response = responses_[l];
+    }
+    RunResult partial;
+    partial.power.horizon_s = horizon_;
+    partial.events = sim_.executed();
+    partial.per_disk = std::move(snapshot_);
+    partial.recompute_from_per_disk(hist_);
+    return partial;
+  }
+
+private:
+  des::Simulation sim_;
+  std::vector<std::unique_ptr<disk::Disk>> disks_;
+  std::vector<stats::Welford> responses_;
+  stats::LinearHistogram hist_{stats::ResponseSummary::kHistLo,
+                               stats::ResponseSummary::kHistHi,
+                               stats::ResponseSummary::kHistBins};
+  std::vector<disk::DiskMetrics> snapshot_;
+  double horizon_ = 0.0;
+  std::uint64_t submissions_ = 0;
+};
+
+/// Everything both pipelines derive from the config before any thread
+/// starts: the shard partition, the per-disk RNGs (split in disk-id order
+/// on the calling thread, so each disk's draw stream is a function of
+/// (seed, disk id) alone, never of the partition), and the shared
+/// read-only layout.
+struct FleetSetup {
+  std::uint32_t shards = 0;
   double horizon = 0.0;
+  std::vector<std::vector<std::uint32_t>> disk_ids;      ///< per shard
+  std::vector<std::vector<util::Rng>> rngs;              ///< per shard
+  std::vector<std::vector<const PolicySpec*>> policies;  ///< per shard
+  std::vector<workload::FileExtent> extents;
 
-  // Mailbox (mutex-guarded; cv signals both directions).
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<ShardBatch> queue;
-  bool aborted = false;
+  FleetSetup(const ExperimentConfig& config, std::uint32_t shards_in)
+      : shards(shards_in), disk_ids(shards_in), rngs(shards_in),
+        policies(shards_in) {
+    horizon = config.workload.measurement_horizon();
+    util::Rng farm_rng{config.seed};
+    for (std::uint32_t d = 0; d < config.num_disks; ++d) {
+      const std::uint32_t w = d % shards;
+      disk_ids[w].push_back(d);
+      rngs[w].push_back(farm_rng.split());
+      const PolicySpec* policy = &config.policy;
+      for (const auto& [disk_id, override_policy] : config.policy_overrides) {
+        if (disk_id == d) policy = &override_policy; // last override wins
+      }
+      policies[w].push_back(policy);
+    }
+    extents = workload::layout_extents(*config.catalog, config.mapping,
+                                       config.num_disks);
+  }
 
-  // Outputs, read after join.
-  RunResult partial;
+  std::unique_ptr<ShardSim> make_sim(const ExperimentConfig& config,
+                                     std::uint32_t shard) const {
+    return std::make_unique<ShardSim>(config, horizon, disk_ids[shard],
+                                      rngs[shard], policies[shard]);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Routerless fast path: shard-local arrival generation.
+// ---------------------------------------------------------------------------
+
+/// One fast-path worker thread: drives the shard calendars in `owned`.
+/// The synthetic arrival draws are a single global RNG stream, so every
+/// worker replays the whole stream (identical clone, identical draws) and
+/// keeps the arrivals its shards own — routing is the pure function
+/// mapping[file], so no shared mutable state exists and no two workers
+/// ever communicate.  Multiplexing several shard calendars onto one
+/// worker changes nothing: the calendars are independent, and each one
+/// sees exactly its own arrivals in arrival order.
+struct LocalWorker {
+  const ExperimentConfig* config = nullptr;
+  const FleetSetup* setup = nullptr;
+  std::vector<std::uint32_t> owned;               ///< shard indices
+  std::vector<std::unique_ptr<ShardSim>> sims;    ///< parallel to owned
+  std::uint64_t generated = 0;  ///< whole-stream arrival count
+  double busy_s = 0.0;
   std::exception_ptr error;
-
-  void push(ShardBatch batch) {
-    std::unique_lock lock{mu};
-    cv.wait(lock, [this] {
-      return queue.size() < kMaxQueuedBatches || error != nullptr || aborted;
-    });
-    if (error != nullptr || aborted) return; // drained at join
-    queue.push_back(std::move(batch));
-    cv.notify_all();
-  }
-
-  void abort() {
-    const std::scoped_lock lock{mu};
-    aborted = true;
-    cv.notify_all();
-  }
+  std::vector<RunResult>* partials = nullptr;  ///< slot s+1 per shard s
 
   void run() {
     try {
       simulate();
     } catch (...) {
-      const std::scoped_lock lock{mu};
       error = std::current_exception();
-      queue.clear(); // unblock the router; it aborts on the next push
-      cv.notify_all();
     }
   }
 
 private:
   void simulate() {
-    des::Simulation sim;
-    std::vector<std::unique_ptr<disk::Disk>> disks;
-    disks.reserve(disk_ids.size());
-    std::vector<stats::Welford> responses(disk_ids.size());
-    stats::LinearHistogram hist{stats::ResponseSummary::kHistLo,
-                                stats::ResponseSummary::kHistHi,
-                                stats::ResponseSummary::kHistBins};
-    for (std::size_t l = 0; l < disk_ids.size(); ++l) {
-      disks.push_back(std::make_unique<disk::Disk>(
-          sim, disk_ids[l], config->params,
-          policies[l]->make(config->params), rngs[l],
-          config->scheduler.make()));
-      disks.back()->set_completion_callback(
-          [&resp = responses[l], &hist](const disk::Completion& c) {
-            resp.add(c.response_time());
-            hist.add(c.response_time());
-          });
+    const auto t0 = PerfClock::now();
+    const std::uint32_t shards = setup->shards;
+    std::vector<std::uint32_t> slot(shards, kNoSlot);
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      slot[owned[i]] = static_cast<std::uint32_t>(i);
     }
-
-    // The horizon snapshot (freezing the power/queue counters) must be
-    // taken before the local clock first passes the horizon, exactly like
-    // the single-calendar path's snapshot event.
-    std::vector<disk::DiskMetrics> snapshot;
-    const auto advance = [&](double t) {
-      if (snapshot.empty() && t >= horizon) {
-        sim.run_until(horizon);
-        snapshot.reserve(disks.size());
-        for (const auto& d : disks) snapshot.push_back(d->metrics(horizon));
+    const auto stream =
+        config->workload.make_stream(*config->catalog, config->seed);
+    workload::WindowedStream windowed{*stream};
+    workload::RequestBlock block;
+    // Demux generation windows into per-shard batches and flush a whole
+    // stretch of windows at once: replaying kBatchesPerShard windows of
+    // one shard consecutively before touching the next keeps a single
+    // calendar's working set hot, exactly the drain pattern the routed
+    // pipeline's ring depth produces.  The batching exists purely for
+    // cache locality — there is no causality to protect — and cannot
+    // change results: each shard still sees its own arrivals in arrival
+    // order, and the interleaved run_until targets are monotone per
+    // shard, so the per-shard event execution sequence is identical to
+    // replaying arrival by arrival.
+    const double window = std::max(1e-3, setup->horizon / 256.0);
+    std::vector<ShardBatch> batches(owned.size());
+    double frontier = 0.0;
+    std::size_t buffered_windows = 0;
+    const auto flush = [&] {
+      for (std::size_t s = 0; s < owned.size(); ++s) {
+        auto& batch = batches[s];
+        auto& sim = *sims[s];
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          sim.advance(batch.time[i]);
+          sim.submit(batch.local_disk[i], batch.request_id[i],
+                     batch.bytes[i], batch.lba[i], batch.blocks[i]);
+        }
+        if (frontier > sim.now()) sim.advance(frontier);
+        batch.reset();
       }
-      sim.run_until(t);
+      buffered_windows = 0;
     };
-
-    for (;;) {
-      ShardBatch batch;
-      {
-        std::unique_lock lock{mu};
-        cv.wait(lock, [this] { return !queue.empty() || aborted; });
-        if (aborted && queue.empty()) return;
-        batch = std::move(queue.front());
-        queue.pop_front();
-        cv.notify_all();
+    while (!windowed.exhausted()) {
+      frontier += window;
+      if (windowed.next_arrival() >= frontier) {
+        frontier = windowed.next_arrival() + window;
       }
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        // Fixed tie rule: every pending disk event at t <= arrival runs
-        // before the submission — identical at any shard count.
-        advance(batch.time[i]);
-        disks[batch.local_disk[i]]->submit(batch.request_id[i],
-                                           batch.bytes[i], batch.lba[i],
-                                           batch.blocks[i]);
+      block.clear();
+      windowed.fill(frontier, std::numeric_limits<std::size_t>::max(),
+                    block);
+      generated += block.size();
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        const auto& file = config->catalog->by_id(block.file[i]);
+        const std::uint32_t disk = config->mapping[file.id];
+        const std::uint32_t s = slot[disk % shards];
+        if (s == kNoSlot) continue; // another worker's shard
+        const auto& extent = setup->extents[file.id];
+        const std::uint64_t lba = block.lba[i] != workload::kNoLba
+                                      ? block.lba[i]
+                                      : extent.lba;
+        batches[s].push(block.arrival[i], block.id[i], file.size, lba,
+                        extent.blocks, disk / shards);
       }
-      if (batch.final) break;
-      if (batch.advance_to > sim.now()) advance(batch.advance_to);
+      if (++buffered_windows == kBatchesPerShard) flush();
     }
-
-    // Drain: in-flight services run to completion past the horizon and
-    // still record their response times — the same episode structure as
-    // the single-calendar path.
-    advance(horizon);
-    sim.run();
-    for (std::size_t l = 0; l < snapshot.size(); ++l) {
-      snapshot[l].response = responses[l];
+    flush();
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      (*partials)[owned[i] + 1] = sims[i]->finalize();
     }
-    partial.power.horizon_s = horizon;
-    partial.events = sim.executed();
-    partial.per_disk = std::move(snapshot);
-    partial.recompute_from_per_disk(hist);
+    busy_s = seconds_since(t0);
   }
 };
 
+std::vector<RunResult> run_shard_local(const ExperimentConfig& config,
+                                       const FleetSetup& setup,
+                                       FleetPerf* perf) {
+  const std::uint32_t shards = setup.shards;
+  std::uint32_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  const std::uint32_t n_workers = std::min(shards, hw);
+
+  std::vector<RunResult> partials(1 + shards);
+  std::vector<LocalWorker> workers(n_workers);
+  for (std::uint32_t w = 0; w < n_workers; ++w) {
+    workers[w].config = &config;
+    workers[w].setup = &setup;
+    workers[w].partials = &partials;
+    for (std::uint32_t s = w; s < shards; s += n_workers) {
+      workers[w].owned.push_back(s);
+      workers[w].sims.push_back(setup.make_sim(config, s));
+    }
+  }
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(n_workers);
+    for (auto& worker : workers) {
+      threads.emplace_back([&worker] { worker.run(); });
+    }
+  } // workers join here
+  // Worker 0 owns shard 0: errors rethrow in lowest-shard-first order, the
+  // same schedule-independent convention as run_sweep.
+  for (const auto& worker : workers) {
+    if (worker.error) std::rethrow_exception(worker.error);
+  }
+
+  RunResult& root = partials[0];
+  root.power.horizon_s = setup.horizon;
+  root.requests = workers[0].generated; // every worker replays the whole
+                                        // stream; the counts are equal
+  const stats::LinearHistogram empty_hist{stats::ResponseSummary::kHistLo,
+                                          stats::ResponseSummary::kHistHi,
+                                          stats::ResponseSummary::kHistBins};
+  root.recompute_from_per_disk(empty_hist);
+
+  if (perf != nullptr) {
+    perf->workers = n_workers;
+    perf->per_shard.resize(shards);
+    perf->worker_busy_s.assign(n_workers, 0.0);
+    perf->worker_wait_s.assign(n_workers, 0.0);
+    for (std::uint32_t w = 0; w < n_workers; ++w) {
+      perf->worker_busy_s[w] = workers[w].busy_s;
+      for (std::size_t i = 0; i < workers[w].owned.size(); ++i) {
+        const std::uint32_t s = workers[w].owned[i];
+        perf->per_shard[s].shard = s;
+        perf->per_shard[s].submissions = workers[w].sims[i]->submissions();
+        perf->per_shard[s].events = partials[s + 1].events;
+      }
+    }
+  }
+  return partials;
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined router path: lock-free per-shard rings, recycled batch arenas.
+// ---------------------------------------------------------------------------
+
+/// Raised inside the router loop when a worker closed its rings (the
+/// worker's own exception is the root cause and is rethrown after join).
+struct PipelineAborted {};
+
+/// One routed shard: a private calendar, the full ring (router -> worker,
+/// carries filled batches) and the free ring (worker -> router, recycles
+/// drained arenas).  The arenas double-buffer generically: the router
+/// fills window N+1 (or several) while the worker drains window N, and a
+/// full free ring is what parks an idle router.
+struct RoutedShard {
+  std::unique_ptr<ShardSim> sim;
+  util::SpscRing<ShardBatch*> full{kBatchesPerShard};
+  util::SpscRing<ShardBatch*> free_ring{kBatchesPerShard};
+  std::vector<std::unique_ptr<ShardBatch>> arenas;
+  // Outputs, read after join.
+  RunResult partial;
+  std::exception_ptr error;
+  std::uint64_t batches = 0;
+  double busy_s = 0.0;
+  double wait_s = 0.0;
+
+  void init() {
+    arenas.reserve(kBatchesPerShard);
+    for (std::size_t i = 0; i < kBatchesPerShard; ++i) {
+      arenas.push_back(std::make_unique<ShardBatch>());
+      ShardBatch* arena = arenas.back().get();
+      free_ring.try_push(arena); // capacity == arena count: cannot fail
+    }
+  }
+
+  void run() {
+    try {
+      consume();
+    } catch (...) {
+      error = std::current_exception();
+      full.close();
+      free_ring.close(); // unblock the router; it aborts on the next pop
+    }
+  }
+
+private:
+  void consume() {
+    const auto t0 = PerfClock::now();
+    for (;;) {
+      ShardBatch* batch = nullptr;
+      const auto w0 = PerfClock::now();
+      if (!full.pop(batch)) return; // rings closed: router-side abort
+      wait_s += seconds_since(w0);
+      ++batches;
+      for (std::size_t i = 0; i < batch->size(); ++i) {
+        sim->advance(batch->time[i]);
+        sim->submit(batch->local_disk[i], batch->request_id[i],
+                    batch->bytes[i], batch->lba[i], batch->blocks[i]);
+      }
+      const bool final = batch->final;
+      if (!final && batch->advance_to > sim->now()) {
+        sim->advance(batch->advance_to);
+      }
+      batch->reset();
+      free_ring.try_push(batch); // capacity == arena count: cannot fail
+      if (final) break;
+    }
+    partial = sim->finalize();
+    busy_s = seconds_since(t0) - wait_s;
+  }
+};
+
+std::vector<RunResult> run_routed(const ExperimentConfig& config,
+                                  const FleetSetup& setup, FleetPerf* perf) {
+  const std::uint32_t shards = setup.shards;
+  const double horizon = setup.horizon;
+
+  std::vector<std::unique_ptr<RoutedShard>> states;
+  states.reserve(shards);
+  for (std::uint32_t w = 0; w < shards; ++w) {
+    auto state = std::make_unique<RoutedShard>();
+    state->sim = setup.make_sim(config, w);
+    state->init();
+    states.push_back(std::move(state));
+  }
+
+  const auto cache = config.cache.make();
+  const auto stream =
+      config.workload.make_stream(*config.catalog, config.seed);
+
+  RunResult root;
+  root.power.horizon_s = horizon;
+  stats::LinearHistogram root_hist{stats::ResponseSummary::kHistLo,
+                                   stats::ResponseSummary::kHistHi,
+                                   stats::ResponseSummary::kHistBins};
+  std::uint64_t dispatched = 0;
+  std::vector<std::size_t> high_water(shards, 0);
+  double router_stall = 0.0;
+  double router_wall = 0.0;
+  std::exception_ptr router_error;
+
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(shards);
+    for (auto& state : states) {
+      workers.emplace_back([s = state.get()] { s->run(); });
+    }
+    const auto t0 = PerfClock::now();
+    try {
+      // Pop a drained arena for `shard`, charging blocked time to the
+      // router stall counter.  A closed ring means the worker died.
+      const auto acquire = [&](std::uint32_t shard) -> ShardBatch* {
+        ShardBatch* arena = nullptr;
+        auto& ring = states[shard]->free_ring;
+        if (!ring.try_pop(arena)) {
+          const auto s0 = PerfClock::now();
+          if (!ring.pop(arena)) throw PipelineAborted{};
+          router_stall += seconds_since(s0);
+        }
+        return arena;
+      };
+      const auto publish = [&](std::uint32_t shard, ShardBatch* arena) {
+        auto& ring = states[shard]->full;
+        ring.try_push(arena); // holds a popped arena: cannot be full
+        high_water[shard] = std::max(high_water[shard], ring.size());
+      };
+
+      // Conservative windows: route all arrivals below each frontier, then
+      // let every shard advance to it.  Any length is causally safe (no
+      // feedback path); this one bounds batch memory to a few thousand
+      // submissions per shard at the bench's request rates.
+      const double window = std::max(1e-3, horizon / 256.0);
+      workload::WindowedStream windowed{*stream};
+      workload::RequestBlock block;
+      std::vector<ShardBatch*> current(shards, nullptr);
+      double frontier = 0.0;
+      while (!windowed.exhausted()) {
+        frontier += window;
+        if (windowed.next_arrival() >= frontier) {
+          // Idle stretch: jump the frontier to the next arrival's window
+          // instead of shipping empty windows one by one.
+          frontier = windowed.next_arrival() + window;
+        }
+        block.clear();
+        windowed.fill(frontier, std::numeric_limits<std::size_t>::max(),
+                      block);
+        for (std::uint32_t w = 0; w < shards; ++w) current[w] = acquire(w);
+        // Whole-window decision batch: every cache access and mapping
+        // lookup happens here, in global arrival order — exactly the
+        // sequence the single-calendar path sees — before anything is
+        // published.
+        for (std::size_t i = 0; i < block.size(); ++i) {
+          ++dispatched;
+          const auto& file = config.catalog->by_id(block.file[i]);
+          if (cache != nullptr && cache->access(file.id, file.size)) {
+            // Cache hit, served from memory with zero latency (the only
+            // latency the experiment path configures): recorded here, in
+            // arrival order, exactly as the single-calendar path does.
+            root.hits_response.add(0.0);
+            root_hist.add(0.0);
+            continue;
+          }
+          const auto& extent = setup.extents[file.id];
+          const std::uint64_t lba = block.lba[i] != workload::kNoLba
+                                        ? block.lba[i]
+                                        : extent.lba;
+          const std::uint32_t disk = config.mapping[file.id];
+          current[disk % shards]->push(block.arrival[i], block.id[i],
+                                       file.size, lba, extent.blocks,
+                                       disk / shards);
+        }
+        for (std::uint32_t w = 0; w < shards; ++w) {
+          current[w]->advance_to = frontier;
+          publish(w, current[w]);
+          current[w] = nullptr;
+        }
+      }
+      for (std::uint32_t w = 0; w < shards; ++w) {
+        ShardBatch* last = acquire(w);
+        last->final = true;
+        last->advance_to = horizon;
+        publish(w, last);
+      }
+    } catch (...) {
+      router_error = std::current_exception();
+    }
+    router_wall = seconds_since(t0);
+    // Normal completion: workers exit after their final batch (pushed
+    // before the close, so it is still delivered).  Abort: this wakes
+    // every blocked worker, which returns without finalizing.
+    for (auto& state : states) {
+      state->full.close();
+      state->free_ring.close();
+    }
+  } // workers join here
+
+  for (auto& state : states) {
+    if (state->error) std::rethrow_exception(state->error);
+  }
+  if (router_error) std::rethrow_exception(router_error);
+
+  root.requests = dispatched;
+  if (cache != nullptr) root.cache = cache->stats();
+  root.recompute_from_per_disk(root_hist);
+
+  std::vector<RunResult> partials;
+  partials.reserve(1 + shards);
+  partials.push_back(std::move(root));
+  for (auto& state : states) partials.push_back(std::move(state->partial));
+
+  if (perf != nullptr) {
+    perf->workers = shards;
+    perf->router_busy_s = std::max(0.0, router_wall - router_stall);
+    perf->router_stall_s = router_stall;
+    perf->per_shard.resize(shards);
+    perf->worker_busy_s.assign(shards, 0.0);
+    perf->worker_wait_s.assign(shards, 0.0);
+    for (std::uint32_t w = 0; w < shards; ++w) {
+      perf->per_shard[w].shard = w;
+      perf->per_shard[w].submissions = states[w]->sim->submissions();
+      perf->per_shard[w].batches = states[w]->batches;
+      perf->per_shard[w].events = partials[w + 1].events;
+      perf->per_shard[w].ring_high_water = high_water[w];
+      perf->worker_busy_s[w] = states[w]->busy_s;
+      perf->worker_wait_s[w] = states[w]->wait_s;
+    }
+  }
+  return partials;
+}
+
 } // namespace
+
+FleetPath classify_fleet_path(const ExperimentConfig& config) {
+  return config.cache.shard_decomposable() && !config.dynamic_routing
+             ? FleetPath::kShardLocal
+             : FleetPath::kRouted;
+}
 
 std::uint32_t effective_shards(std::uint32_t requested,
                                std::uint32_t num_disks) {
-  std::uint32_t shards =
-      requested != 0 ? requested : std::thread::hardware_concurrency();
-  if (shards == 0) shards = 1;
+  std::uint32_t shards = requested;
+  if (requested == 0) {
+    shards = std::thread::hardware_concurrency();
+    if (shards == 0) shards = 1;
+    // Oversharding floor: auto never lands a shard below
+    // kAutoMinDisksPerShard disks — at that granularity the pipeline
+    // overhead outweighs the parallelism (the 4096-disk × 8-shard
+    // regression in BENCH_fleet.json's PR-7 snapshot).
+    shards = std::min(
+        shards,
+        std::max<std::uint32_t>(1, num_disks / kAutoMinDisksPerShard));
+  }
   return std::max<std::uint32_t>(1, std::min(shards, num_disks));
 }
 
 std::vector<RunResult> run_fleet_partials(const ExperimentConfig& config,
-                                          std::uint32_t shards) {
+                                          std::uint32_t shards,
+                                          FleetPath path, FleetPerf* perf) {
   if (config.catalog == nullptr) {
     throw std::invalid_argument{"ExperimentConfig: catalog is required"};
   }
@@ -202,133 +633,42 @@ std::vector<RunResult> run_fleet_partials(const ExperimentConfig& config,
         "run_fleet: needs a positive measurement horizon (whole-episode "
         "measurement is a single-calendar feature)"};
   }
+  if (path == FleetPath::kShardLocal &&
+      classify_fleet_path(config) != FleetPath::kShardLocal) {
+    throw std::invalid_argument{
+        "run_fleet: the shard-local fast path requires a shard-decomposable "
+        "scenario (cache=none and a static placement mapping); this config "
+        "needs the router"};
+  }
   shards = std::max<std::uint32_t>(
       1, std::min(shards, std::max<std::uint32_t>(1, config.num_disks)));
 
-  // Per-disk RNGs split in disk-id order on this thread: each disk's draw
-  // stream is a function of (seed, disk id) alone, never of the partition.
-  util::Rng farm_rng{config.seed};
-  std::vector<util::Rng> disk_rngs;
-  disk_rngs.reserve(config.num_disks);
-  for (std::uint32_t d = 0; d < config.num_disks; ++d) {
-    disk_rngs.push_back(farm_rng.split());
+  const FleetSetup setup{config, shards};
+  if (perf != nullptr) {
+    *perf = FleetPerf{};
+    perf->path = path;
+    perf->shards = shards;
   }
-
-  std::vector<std::unique_ptr<ShardState>> states;
-  states.reserve(shards);
-  for (std::uint32_t w = 0; w < shards; ++w) {
-    auto state = std::make_unique<ShardState>();
-    state->config = &config;
-    state->horizon = horizon;
-    for (std::uint32_t d = w; d < config.num_disks; d += shards) {
-      state->disk_ids.push_back(d);
-      state->rngs.push_back(disk_rngs[d]);
-      const PolicySpec* policy = &config.policy;
-      for (const auto& [disk_id, override_policy] : config.policy_overrides) {
-        if (disk_id == d) policy = &override_policy; // last override wins
-      }
-      state->policies.push_back(policy);
-    }
-    states.push_back(std::move(state));
-  }
-
-  const auto extents = workload::layout_extents(
-      *config.catalog, config.mapping, config.num_disks);
-  const auto cache = config.cache.make();
-  const auto stream =
-      config.workload.make_stream(*config.catalog, config.seed);
-
-  RunResult root;
-  root.power.horizon_s = horizon;
-  stats::LinearHistogram root_hist{stats::ResponseSummary::kHistLo,
-                                   stats::ResponseSummary::kHistHi,
-                                   stats::ResponseSummary::kHistBins};
-  std::uint64_t dispatched = 0;
-
-  {
-    std::vector<std::jthread> workers;
-    workers.reserve(shards);
-    for (auto& state : states) {
-      workers.emplace_back([s = state.get()] { s->run(); });
-    }
-    try {
-      // Conservative windows: route all arrivals below each frontier, then
-      // let every shard advance to it.  Any length is causally safe (no
-      // feedback path); this one bounds batch memory to a few thousand
-      // submissions per shard at the bench's request rates.
-      const double window = std::max(1e-3, horizon / 256.0);
-      workload::WindowedStream windowed{*stream};
-      workload::RequestBlock block;
-      std::vector<ShardBatch> batches(shards);
-      double frontier = 0.0;
-      while (!windowed.exhausted()) {
-        frontier += window;
-        if (windowed.next_arrival() >= frontier) {
-          // Idle stretch: jump the frontier to the next arrival's window
-          // instead of shipping empty windows one by one.
-          frontier = windowed.next_arrival() + window;
-        }
-        block.clear();
-        windowed.fill(frontier, std::numeric_limits<std::size_t>::max(),
-                      block);
-        for (std::size_t i = 0; i < block.size(); ++i) {
-          ++dispatched;
-          const auto& file = config.catalog->by_id(block.file[i]);
-          if (cache != nullptr && cache->access(file.id, file.size)) {
-            // Cache hit, served from memory with zero latency (the only
-            // latency the experiment path configures): recorded here, in
-            // arrival order, exactly as the single-calendar path does.
-            root.hits_response.add(0.0);
-            root_hist.add(0.0);
-            continue;
-          }
-          const auto& extent = extents[file.id];
-          const std::uint64_t lba = block.lba[i] != workload::kNoLba
-                                        ? block.lba[i]
-                                        : extent.lba;
-          batches[config.mapping[file.id]
-                  % shards].push(block.arrival[i], block.id[i], file.size,
-                                 lba, extent.blocks,
-                                 config.mapping[file.id] / shards);
-        }
-        for (std::uint32_t w = 0; w < shards; ++w) {
-          batches[w].advance_to = frontier;
-          states[w]->push(std::move(batches[w]));
-          batches[w] = ShardBatch{};
-        }
-      }
-      for (auto& state : states) {
-        ShardBatch last;
-        last.final = true;
-        last.advance_to = horizon;
-        state->push(std::move(last));
-      }
-    } catch (...) {
-      for (auto& state : states) state->abort();
-      throw; // jthreads join on unwind
-    }
-  } // workers join here
-
-  for (auto& state : states) {
-    if (state->error) std::rethrow_exception(state->error);
-  }
-
-  root.requests = dispatched;
-  if (cache != nullptr) root.cache = cache->stats();
-  root.recompute_from_per_disk(root_hist);
-
-  std::vector<RunResult> partials;
-  partials.reserve(1 + shards);
-  partials.push_back(std::move(root));
-  for (auto& state : states) partials.push_back(std::move(state->partial));
-  return partials;
+  return path == FleetPath::kShardLocal
+             ? run_shard_local(config, setup, perf)
+             : run_routed(config, setup, perf);
 }
 
-RunResult run_fleet(const ExperimentConfig& config, std::uint32_t shards) {
-  auto partials = run_fleet_partials(config, shards);
+std::vector<RunResult> run_fleet_partials(const ExperimentConfig& config,
+                                          std::uint32_t shards) {
+  return run_fleet_partials(config, shards, classify_fleet_path(config));
+}
+
+RunResult run_fleet(const ExperimentConfig& config, std::uint32_t shards,
+                    FleetPath path, FleetPerf* perf) {
+  auto partials = run_fleet_partials(config, shards, path, perf);
   RunResult result;
   for (const auto& p : partials) result.merge(p);
   return result;
+}
+
+RunResult run_fleet(const ExperimentConfig& config, std::uint32_t shards) {
+  return run_fleet(config, shards, classify_fleet_path(config));
 }
 
 } // namespace spindown::sys

@@ -633,6 +633,9 @@ ResolvedScenario ScenarioCache::resolve(const ScenarioSpec& spec) {
   cfg.workload = replays ? WorkloadSpec::replay(*cat.trace) : spec.workload;
   cfg.seed = spec.seed;
   cfg.shards = spec.shards;
+  // Every built-in placement resolved to the static mapping vector above;
+  // a dynamic placement would instead flag the fleet router here.
+  cfg.dynamic_routing = !spec.placement.static_mapping();
   out.config = std::move(cfg);
   return out;
 }
