@@ -15,6 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "sys/fleet.h"
 #include "sys/scenario.h"
 #include "sys/sweep.h"
 #include "util/cli.h"
@@ -42,11 +45,21 @@ void print_usage(const std::string& program) {
       << "      workload=poisson(R,T)|nhpp(t:r;...,T[,P])\n"
       << "              |mmpp(r0,r1,d0,d1,T)|trace:<stem>|replay\n"
       << "      seed=<n>  label=<name>  shards=<n|auto>\n"
+      << "      obs=off|all|spans+power+policy+metrics[:iv]+profile\n"
       << "  --sweep 'key=v1,v2,...'  cross one axis (repeatable; axes cross)\n"
       << "  --shards <n|auto>  shard each run's calendar (sys/fleet.h);\n"
       << "                     shorthand for shards=<v> in the scenario —\n"
       << "                     results are bit-identical at any count\n"
-      << "  --json             one JSON row per scenario on stdout (JSONL)\n"
+      << "  --trace <file>     write the run's trace (single scenario only):\n"
+      << "                     .jsonl = one event per line, anything else =\n"
+      << "                     Chrome trace_event JSON (load in Perfetto)\n"
+      << "  --trace-filter <kinds>  which event families to record (ObsSpec\n"
+      << "                     grammar; default: the scenario's obs= key, or\n"
+      << "                     spans+power+policy when that is off)\n"
+      << "  --metrics-interval <s>  sim-time gauge sampling period; implies\n"
+      << "                     the metrics family\n"
+      << "  --json             one JSON row per scenario on stdout (JSONL);\n"
+      << "                     sharded runs include a fleet_perf object\n"
       << "  --threads <n>      parallel sweep width (default: hardware)\n"
       << "  --help             this text\n";
 }
@@ -121,16 +134,80 @@ int main(int argc, char** argv) {
       swept = std::move(next_swept);
     }
 
+    // --trace records one run's observability stream; a sweep would
+    // interleave runs, so tracing is restricted to a single scenario.
+    const bool traced = cli.has("trace");
+    if (!traced && (cli.has("trace-filter") || cli.has("metrics-interval"))) {
+      std::cerr
+          << "error: --trace-filter/--metrics-interval require --trace\n";
+      return 2;
+    }
+    if (traced) {
+      if (specs.size() != 1) {
+        std::cerr << "error: --trace records exactly one scenario "
+                     "(drop --sweep)\n";
+        return 2;
+      }
+      auto& spec = specs[0];
+      if (cli.has("trace-filter")) {
+        spec.obs = sys::ObsSpec::parse(cli.get("trace-filter", ""));
+      } else if (!spec.obs.enabled()) {
+        spec.obs = sys::ObsSpec::parse("spans+power+policy");
+      }
+      if (cli.has("metrics-interval")) {
+        const double interval = cli.get_double("metrics-interval", 60.0);
+        if (!(interval > 0.0)) {
+          std::cerr << "error: --metrics-interval wants a positive number "
+                       "of sim seconds\n";
+          return 2;
+        }
+        spec.obs.metrics = true;
+        spec.obs.metrics_interval_s = interval;
+      }
+      base = spec;
+    }
+
     auto& info = json ? std::cerr : std::cout;
     info << "running " << specs.size()
          << (specs.size() == 1 ? " scenario:\n" : " scenarios; base:\n")
          << "  " << base.spec() << "\n\n";
 
-    const auto results = sys::run_scenarios(specs, threads);
+    // A lone scenario runs through the perf/trace-aware entry point (a
+    // sweep keeps the parallel run_scenarios path; tracing is excluded
+    // above and FleetPerf is one-run diagnostics).
+    std::vector<sys::RunResult> results;
+    obs::RunTrace trace;
+    sys::FleetPerf perf;
+    bool have_perf = false;
+    if (specs.size() == 1) {
+      results.push_back(
+          sys::run_scenario(specs[0], traced ? &trace : nullptr, &perf));
+      have_perf = true;
+      if (traced) {
+        const std::string path = cli.get("trace", "");
+        if (!obs::write_trace_file(path, trace)) {
+          std::cerr << "error: cannot write trace to '" << path << "'\n";
+          return 1;
+        }
+        info << "trace: " << trace.events.size() << " events";
+        if (!trace.profile.empty()) {
+          info << " + " << trace.profile.size() << " profile samples";
+        }
+        info << " -> " << path << "\n\n";
+      }
+    } else {
+      results = sys::run_scenarios(specs, threads);
+    }
 
     if (json) {
       for (std::size_t i = 0; i < specs.size(); ++i) {
-        std::cout << sys::to_json(specs[i], results[i]) << "\n";
+        std::string row = sys::to_json(specs[i], results[i]);
+        if (have_perf && specs[i].shards != 1) {
+          // Splice the pipeline diagnostics into the scenario row.
+          row.pop_back();
+          row += ", \"fleet_perf\": " + sys::to_json(perf) + "}";
+        }
+        std::cout << row << "\n";
       }
       return 0;
     }

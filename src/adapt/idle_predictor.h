@@ -57,6 +57,9 @@ public:
   void observe_idle(double duration, bool spun_down) override;
   std::string name() const override;
 
+  /// Trace probe: the EWMA-predicted next idle duration.
+  double trace_estimate() const override { return ewma_; }
+
   double predicted_idle() const { return ewma_; }
   double predicted_deviation() const { return dev_; }
   std::uint64_t observed() const { return observed_; }

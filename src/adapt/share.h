@@ -62,6 +62,8 @@ public:
 
   /// The threshold currently played: the weight-weighted mean of the grid.
   double current_threshold() const;
+  /// Trace probe: the blended threshold the combiner is playing.
+  double trace_estimate() const override { return current_threshold(); }
   const std::vector<double>& thresholds() const { return thresholds_; }
   const std::vector<double>& weights() const { return weights_; }
 

@@ -59,6 +59,8 @@ public:
   std::string name() const override;
 
   double threshold() const { return threshold_; }
+  /// Trace probe: the controller's current spin-down threshold.
+  double trace_estimate() const override { return threshold_; }
   /// Current streaming estimate of the tracked percentile.
   double estimated_percentile() const { return quantile_; }
   std::uint64_t completions() const { return completions_; }

@@ -49,6 +49,11 @@ Disk::Disk(des::Simulation& sim, std::uint32_t id, DiskParams params,
 
 void Disk::enter(PowerState next) {
   assert(can_transition(state_, next));
+  if (trace_ != nullptr && trace_->wants(obs::Kind::kPower)) {
+    trace_->emit(obs::Kind::kPower, static_cast<std::uint8_t>(next),
+                 sim_.now(), id_, 0,
+                 static_cast<double>(static_cast<unsigned>(state_)));
+  }
   ledger_.transition(sim_.now(), next);
   state_ = next;
 }
@@ -63,6 +68,12 @@ void Disk::submit(std::uint64_t request_id, util::Bytes bytes,
   job.blocks = blocks != 0 ? blocks : util::blocks_of(bytes);
   job.seq = submit_seq_++;
   scheduler_->push(job);
+  if (trace_ != nullptr && trace_->wants(obs::Kind::kSpan)) {
+    trace_->emit(obs::Kind::kSpan, obs::kSpanSubmit, sim_.now(), id_,
+                 request_id, static_cast<double>(bytes));
+    trace_->emit(obs::Kind::kSpan, obs::kSpanEnqueue, sim_.now(), id_,
+                 request_id, static_cast<double>(scheduler_->size()));
+  }
   if (idle_period_open_) {
     // First arrival since the disk went idle: the idle period ends now,
     // whatever power state the policy steered it through.  Score it before
@@ -111,6 +122,12 @@ void Disk::start_service() {
   assert(!batch_.empty());
   service_start_ = sim_.now();
   ++positionings_;
+  if (trace_ != nullptr && trace_->wants(obs::Kind::kSpan)) {
+    for (const IoJob& job : batch_) {
+      trace_->emit(obs::Kind::kSpan, obs::kSpanPosition, sim_.now(), id_,
+                   job.request_id, static_cast<double>(batch_.size()));
+    }
+  }
   enter(PowerState::kPositioning);
   sim_.schedule_in(positioning_time(batch_.front().lba),
                    [this] { finish_positioning(); });
@@ -122,6 +139,11 @@ void Disk::finish_positioning() {
 }
 
 void Disk::start_transfer() {
+  if (trace_ != nullptr && trace_->wants(obs::Kind::kSpan)) {
+    trace_->emit(obs::Kind::kSpan, obs::kSpanTransfer, sim_.now(), id_,
+                 batch_[batch_pos_].request_id,
+                 static_cast<double>(batch_[batch_pos_].bytes));
+  }
   sim_.schedule_in(params_.transfer_time(batch_[batch_pos_].bytes),
                    [this] { finish_transfer(); });
 }
@@ -131,6 +153,11 @@ void Disk::finish_transfer() {
   ++served_;
   bytes_served_ += job.bytes;
   head_lba_ = job.lba + job.blocks;
+  if (trace_ != nullptr && trace_->wants(obs::Kind::kSpan)) {
+    trace_->emit(obs::Kind::kSpan, obs::kSpanComplete, sim_.now(), id_,
+                 job.request_id, sim_.now() - job.arrival,
+                 service_start_ - job.arrival);
+  }
   policy_->observe_completion(sim_.now() - job.arrival);
   if (on_complete_) {
     Completion c;
@@ -165,13 +192,33 @@ void Disk::go_idle() {
 void Disk::arm_idle_timer() {
   assert(state_ == PowerState::kIdle);
   const auto timeout = policy_->idle_timeout(rng_);
-  if (!timeout.has_value()) return; // stay idle forever (never-spin-down)
+  const bool tracing =
+      trace_ != nullptr && trace_->wants(obs::Kind::kPolicy);
+  if (!timeout.has_value()) {
+    if (tracing) {
+      trace_->emit(obs::Kind::kPolicy, obs::kPolicyStayIdle, sim_.now(), id_,
+                   0, 0.0, policy_->trace_estimate());
+    }
+    return; // stay idle forever (never-spin-down)
+  }
   if (*timeout <= 0.0) {
+    if (tracing) {
+      trace_->emit(obs::Kind::kPolicy, obs::kPolicySpinDownNow, sim_.now(),
+                   id_, 0, *timeout, policy_->trace_estimate());
+    }
     begin_spin_down();
     return;
   }
+  if (tracing) {
+    trace_->emit(obs::Kind::kPolicy, obs::kPolicyTimerArmed, sim_.now(), id_,
+                 0, *timeout, policy_->trace_estimate());
+  }
   idle_timer_ = sim_.schedule_in(*timeout, [this] {
     idle_timer_ = des::EventHandle{};
+    if (trace_ != nullptr && trace_->wants(obs::Kind::kPolicy)) {
+      trace_->emit(obs::Kind::kPolicy, obs::kPolicyThresholdFired, sim_.now(),
+                   id_, 0, sim_.now() - idle_since_);
+    }
     begin_spin_down();
   });
 }

@@ -32,6 +32,7 @@
 
 #include "des/simulation.h"
 #include "disk/io_scheduler.h"
+#include "obs/trace.h"
 #include "disk/params.h"
 #include "disk/power.h"
 #include "disk/spin_policy.h"
@@ -142,11 +143,20 @@ public:
     on_complete_ = std::move(cb);
   }
 
+  /// Attach a trace sink (null disables).  The buffer must be single-writer
+  /// from this disk's calendar thread and outlive the disk's activity; the
+  /// disk emits power transitions, request-lifecycle spans, and policy
+  /// decisions on track `id()` subject to the buffer's kind mask.
+  void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
+
   std::uint32_t id() const { return id_; }
   const DiskParams& params() const { return params_; }
   PowerState state() const { return state_; }
   const IoScheduler& scheduler() const { return *scheduler_; }
   std::size_t queue_length() const { return scheduler_->size(); }
+  /// Requests in the active batch (cheap gauge taps for the sampler).
+  std::size_t in_service_count() const { return batch_.size() - batch_pos_; }
+  std::uint64_t served_count() const { return served_; }
   /// Current head position (first block past the last transferred extent).
   std::uint64_t head_lba() const { return head_lba_; }
 
@@ -201,6 +211,7 @@ private:
   double service_start_ = 0.0;
 
   CompletionCallback on_complete_;
+  obs::TraceBuffer* trace_ = nullptr;
   std::uint64_t spin_ups_ = 0;
   std::uint64_t spin_downs_ = 0;
   std::uint64_t served_ = 0;

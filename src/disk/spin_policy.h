@@ -63,6 +63,14 @@ public:
 
   /// Human-readable name for reports.
   virtual std::string name() const = 0;
+
+  /// Observability probe: the policy's current operating point, attached to
+  /// every decision event on the trace (kind kPolicy, `aux` field).  Static
+  /// policies report their threshold; the adaptive policies report their
+  /// learned estimate (EWMA-predicted idle, the share combiner's blended
+  /// threshold, the slack controller's current threshold).  Read-only and
+  /// purely informational — it must never influence a decision.
+  virtual double trace_estimate() const { return 0.0; }
 };
 
 class FixedThresholdPolicy final : public SpinDownPolicy {
@@ -70,6 +78,7 @@ public:
   explicit FixedThresholdPolicy(double threshold_s);
   std::optional<double> idle_timeout(util::Rng&) override { return threshold_; }
   std::string name() const override;
+  double trace_estimate() const override { return threshold_; }
   double threshold() const { return threshold_; }
 
 private:

@@ -1,0 +1,24 @@
+// profile.h — the one place the repo may read a wall clock.
+//
+// Pipeline profiling (FleetPerf, ShardPerf, the kProfile trace stream)
+// measures *host* execution time, which is inherently nondeterministic and
+// never feeds back into simulation results.  Concentrating the clock here
+// keeps the determinism story auditable: the linter's `obs` rule rejects
+// wall-clock reads (even waived ones) anywhere else in src/, so a stray
+// timestamp cannot leak into result-affecting code unnoticed.
+#pragma once
+
+#include <chrono>
+
+namespace spindown::obs {
+
+/// Monotonic host clock for pipeline stage timing only.
+// DETERMINISM-OK(wall-clock): profiling-only clock; sole sanctioned site.
+using ProfileClock = std::chrono::steady_clock;
+
+/// Seconds elapsed since `t0` on the profiling clock.
+inline double seconds_since(ProfileClock::time_point t0) {
+  return std::chrono::duration<double>(ProfileClock::now() - t0).count();
+}
+
+} // namespace spindown::obs

@@ -117,6 +117,41 @@ double LogHistogram::bin_mid(std::size_t i) const {
   return std::exp(log_lo_ + log_width_ * (static_cast<double>(i) + 0.5));
 }
 
+std::uint64_t LogHistogram::binned() const {
+  std::uint64_t n = 0;
+  for (auto c : counts_) n += c;
+  return n;
+}
+
+double LogHistogram::mean() const {
+  const std::uint64_t n = binned();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    sum += static_cast<double>(counts_[i]) * bin_mid(i);
+  }
+  return sum / static_cast<double>(n);
+}
+
+double LogHistogram::percentile(double p) const {
+  const std::uint64_t n = binned();
+  if (n == 0) return 0.0;
+  if (p <= 0.0) return bin_lo(0);
+  if (p >= 100.0) return bin_hi(counts_.size() - 1);
+  const double target = p / 100.0 * static_cast<double>(n);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return std::exp(log_lo_ +
+                      log_width_ * (static_cast<double>(i) + frac));
+    }
+    cum = next;
+  }
+  return bin_hi(counts_.size() - 1);
+}
+
 std::vector<double> LogHistogram::proportions() const {
   std::vector<double> out;
   if (total_ == 0) return out;

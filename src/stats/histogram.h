@@ -65,6 +65,17 @@ public:
   /// Geometric midpoint of bin i (natural x-coordinate on a log axis).
   double bin_mid(std::size_t i) const;
 
+  /// Samples that actually landed in a bin: add() drops non-positive
+  /// values from the bins while still counting them in total(), so the
+  /// summary statistics below use this as their denominator.
+  std::uint64_t binned() const;
+  /// Mean estimated from geometric bin midpoints over the binned mass
+  /// (0 when no binned samples).
+  double mean() const;
+  /// Percentile estimate by log-linear interpolation inside the containing
+  /// bin, over the binned mass.  p in [0,100]; 0 when no binned samples.
+  double percentile(double p) const;
+
   /// Fraction of the total in each bin (empty vector if no samples).
   std::vector<double> proportions() const;
 

@@ -28,8 +28,15 @@ Dispatcher::Dispatcher(des::Simulation& sim,
 void Dispatcher::dispatch(const workload::Request& request) {
   ++dispatched_;
   const auto& file = catalog_.by_id(request.file);
+  const bool tracing = cache_ != nullptr && trace_ != nullptr &&
+                       trace_->wants(obs::Kind::kSpan);
   if (cache_ != nullptr && cache_->access(file.id, file.size)) {
     // Cache hit: served from memory; the disk never sees the request.
+    if (tracing) {
+      trace_->emit(obs::Kind::kSpan, obs::kSpanCacheHit, sim_.now(),
+                   obs::kDispatcherTrack, request.id,
+                   static_cast<double>(file.size));
+    }
     if (on_hit_) {
       const auto id = request.id;
       const auto latency = cache_hit_latency_;
@@ -42,6 +49,11 @@ void Dispatcher::dispatch(const workload::Request& request) {
       }
     }
     return;
+  }
+  if (tracing) {
+    trace_->emit(obs::Kind::kSpan, obs::kSpanCacheMiss, sim_.now(),
+                 obs::kDispatcherTrack, request.id,
+                 static_cast<double>(mapping_[file.id]));
   }
   const auto& extent = extents_[file.id];
   const std::uint64_t lba =

@@ -40,6 +40,12 @@ public:
   using HitCallback = util::InlineFunction<void(std::uint64_t, double), 64>;
   void set_hit_callback(HitCallback cb) { on_hit_ = std::move(cb); }
 
+  /// Attach a trace sink (null disables).  With a cache configured, every
+  /// request emits a cache_hit/cache_miss span edge on the dispatcher track
+  /// — in dispatch order, which is global arrival order, so the routed
+  /// fleet pipeline reproduces the identical stream.
+  void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
+
   /// Route a request arriving now.
   void dispatch(const workload::Request& request);
 
@@ -61,6 +67,7 @@ private:
   std::vector<workload::FileExtent> extents_;
   cache::FileCache* cache_;
   double cache_hit_latency_;
+  obs::TraceBuffer* trace_ = nullptr;
   HitCallback on_hit_;
   std::uint64_t dispatched_ = 0;
 };

@@ -6,6 +6,7 @@
 #include "cache/fifo.h"
 #include "cache/lfu.h"
 #include "cache/lru.h"
+#include "obs/trace.h"
 #include "sys/fleet.h"
 #include "sys/spec_grammar.h"
 
@@ -24,6 +25,69 @@ std::vector<std::string> parse_call(const std::string& name,
 using detail::split;
 
 } // namespace
+
+std::uint32_t ObsSpec::kind_mask() const {
+  std::uint32_t mask = 0;
+  if (spans) mask |= obs::kind_bit(obs::Kind::kSpan);
+  if (power) mask |= obs::kind_bit(obs::Kind::kPower);
+  if (policy) mask |= obs::kind_bit(obs::Kind::kPolicy);
+  if (metrics) mask |= obs::kind_bit(obs::Kind::kMetric);
+  if (profile) mask |= obs::kind_bit(obs::Kind::kProfile);
+  return mask;
+}
+
+std::string ObsSpec::spec() const {
+  if (!enabled()) return "off";
+  std::string out;
+  const auto add = [&out](const std::string& token) {
+    if (!out.empty()) out += "+";
+    out += token;
+  };
+  if (spans) add("spans");
+  if (power) add("power");
+  if (policy) add("policy");
+  if (metrics) {
+    add(metrics_interval_s == 60.0
+            ? std::string{"metrics"}
+            : "metrics:" + util::format_roundtrip(metrics_interval_s));
+  }
+  if (profile) add("profile");
+  return out;
+}
+
+ObsSpec ObsSpec::parse(const std::string& name) {
+  if (name == "off") return off();
+  if (name == "all") return all();
+  ObsSpec o;
+  for (const auto& token : split(name, '+')) {
+    if (token == "spans") {
+      o.spans = true;
+    } else if (token == "power") {
+      o.power = true;
+    } else if (token == "policy") {
+      o.policy = true;
+    } else if (token == "profile") {
+      o.profile = true;
+    } else if (token == "metrics") {
+      o.metrics = true;
+    } else if (token.rfind("metrics:", 0) == 0) {
+      o.metrics = true;
+      const double interval =
+          detail::parse_number(token.substr(8), name, "ObsSpec");
+      if (interval <= 0.0) {
+        throw std::invalid_argument{
+            "ObsSpec: metrics interval must be positive in '" + name + "'"};
+      }
+      o.metrics_interval_s = interval;
+    } else {
+      throw std::invalid_argument{
+          "ObsSpec: unknown kind '" + token + "' in '" + name +
+          "' (want off|all or '+'-joined "
+          "spans|power|policy|metrics[:interval]|profile)"};
+    }
+  }
+  return o;
+}
 
 std::unique_ptr<cache::FileCache> CacheSpec::make() const {
   switch (kind) {
@@ -261,6 +325,11 @@ WorkloadSpec WorkloadSpec::parse(const std::string& name) {
 }
 
 RunResult run_experiment(const ExperimentConfig& config) {
+  return run_experiment(config, nullptr, nullptr);
+}
+
+RunResult run_experiment(const ExperimentConfig& config, obs::RunTrace* trace,
+                         FleetPerf* perf) {
   if (config.catalog == nullptr) {
     throw std::invalid_argument{"ExperimentConfig: catalog is required"};
   }
@@ -270,7 +339,8 @@ RunResult run_experiment(const ExperimentConfig& config) {
   // Whole-episode measurement (horizon <= 0) needs the single global
   // calendar; every built-in workload has a positive horizon.
   if (shards > 1 && config.workload.measurement_horizon() > 0.0) {
-    return run_fleet(config, shards);
+    return run_fleet(config, shards, classify_fleet_path(config), perf,
+                     trace);
   }
 
   const auto cache = config.cache.make();
@@ -280,6 +350,16 @@ RunResult run_experiment(const ExperimentConfig& config) {
   system.set_scheduler(config.scheduler);
   for (const auto& [disk, policy] : config.policy_overrides) {
     system.set_policy_override(disk, policy);
+  }
+  if (trace != nullptr && config.obs.enabled()) {
+    system.set_obs(config.obs.kind_mask(), config.obs.metrics_interval_s,
+                   trace);
+  }
+  if (perf != nullptr) {
+    *perf = FleetPerf{};
+    perf->path = classify_fleet_path(config);
+    perf->shards = 1;
+    perf->workers = 1;
   }
 
   const auto stream = config.workload.make_stream(*config.catalog, config.seed);

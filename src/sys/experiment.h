@@ -6,6 +6,7 @@
 // entry point.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,7 +16,13 @@
 #include "workload/stream.h"
 #include "workload/trace.h"
 
+namespace spindown::obs {
+struct RunTrace;
+}
+
 namespace spindown::sys {
+
+struct FleetPerf;
 
 /// What drives the arrivals.  Synthetic kinds pair an ArrivalProcess
 /// (workload/arrival.h) with Zipf file choice over [0, horizon); kTrace
@@ -151,6 +158,46 @@ struct CacheSpec {
   bool shard_decomposable() const { return kind == Kind::kNone; }
 };
 
+/// Observability selection (src/obs/): which trace-event families a run
+/// records, plus the sim-time metrics sampling interval.  Everything is off
+/// by default; an enabled spec only takes effect when the run is handed a
+/// RunTrace sink (run_experiment's trace overload), so carrying an enabled
+/// ObsSpec through an untraced run is free.
+struct ObsSpec {
+  bool spans = false;   ///< request lifecycle edges
+  bool power = false;   ///< power-state transitions
+  bool policy = false;  ///< spin-down policy decisions
+  bool metrics = false; ///< sampled queue/state gauges
+  bool profile = false; ///< wall-clock fleet pipeline stage timers
+  double metrics_interval_s = 60.0; ///< sampling period (sim seconds)
+
+  bool enabled() const {
+    return spans || power || policy || metrics || profile;
+  }
+  /// Bitmask over obs::Kind for obs::TraceBuffer (kind_bit order).
+  std::uint32_t kind_mask() const;
+
+  static ObsSpec off() { return {}; }
+  static ObsSpec all() {
+    ObsSpec o;
+    o.spans = o.power = o.policy = o.metrics = o.profile = true;
+    return o;
+  }
+
+  /// Parse a CLI/report key; accepts everything spec() emits plus "all".
+  /// Grammar: "off", or '+'-joined kinds from
+  /// {spans,power,policy,metrics[:interval],profile} in any order.  Throws
+  /// std::invalid_argument on anything else.
+  static ObsSpec parse(const std::string& name);
+  /// Canonical parseable key — "off", "spans+power",
+  /// "metrics:30+profile", ... (kinds in declaration order, the metrics
+  /// interval attached only when it differs from the 60 s default) — such
+  /// that parse(spec()) round-trips the value.
+  std::string spec() const;
+
+  friend bool operator==(const ObsSpec&, const ObsSpec&) = default;
+};
+
 struct ExperimentConfig {
   std::string label;
   const workload::FileCatalog* catalog = nullptr; ///< not owned
@@ -179,9 +226,22 @@ struct ExperimentConfig {
   /// and similar).  Forces sharded runs onto the router path even with
   /// cache=none, because routing then depends on global arrival order.
   bool dynamic_routing = false;
+  /// Which trace-event families to record when the run is handed a
+  /// RunTrace sink.  Ignored (zero-cost) without one.
+  ObsSpec obs;
 };
 
 /// Run one experiment to completion.  Deterministic given the config.
 RunResult run_experiment(const ExperimentConfig& config);
+
+/// As above, also collecting observability output.  When `trace` is
+/// non-null and config.obs enables any kind, the canonical sim-time event
+/// stream (bit-identical at any shard count) and — with obs profile on a
+/// sharded run — the wall-clock pipeline samples are appended to it.  When
+/// `perf` is non-null it receives the fleet pipeline diagnostics (for a
+/// single-calendar run: shards == workers == 1 with empty per-shard rows).
+/// The RunResult is bit-identical to the untraced overload's.
+RunResult run_experiment(const ExperimentConfig& config, obs::RunTrace* trace,
+                         FleetPerf* perf = nullptr);
 
 } // namespace spindown::sys

@@ -1,7 +1,6 @@
 #include "sys/fleet.h"
 
 #include <algorithm>
-#include <chrono>
 #include <exception>
 #include <limits>
 #include <memory>
@@ -11,6 +10,9 @@
 
 #include "des/simulation.h"
 #include "disk/disk.h"
+#include "obs/profile.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 #include "stats/summary.h"
 #include "stats/welford.h"
 #include "util/rng.h"
@@ -20,14 +22,11 @@
 namespace spindown::sys {
 namespace {
 
-// FleetPerf pipeline diagnostics only: the measured durations are reported
-// to benches and never touch a RunResult.
-// DETERMINISM-OK(wall-clock): perf counters, never simulation input.
-using PerfClock = std::chrono::steady_clock;
-
-double seconds_since(PerfClock::time_point t0) {
-  return std::chrono::duration<double>(PerfClock::now() - t0).count();
-}
+// FleetPerf pipeline diagnostics and kProfile trace samples only: the
+// measured durations are reported to benches/traces and never touch a
+// RunResult.  obs/profile.h is the repo's sole wall-clock site.
+using PerfClock = obs::ProfileClock;
+using obs::seconds_since;
 
 /// Ring capacity and arena count per routed shard: bounds router run-ahead
 /// (and batch memory) without stalling workers that lag a window or two.
@@ -86,22 +85,38 @@ struct ShardBatch {
 /// addresses.
 class ShardSim {
 public:
+  /// `obs_mask` non-zero enables tracing into a shard-private buffer
+  /// (single-writer: exactly one thread ever drives this calendar).  The
+  /// sampler is started after every disk exists, so its calendar ticks are
+  /// inserted after all idle timers — the same insertion order as the
+  /// single-calendar path, hence the same measure-zero tie resolution.
   ShardSim(const ExperimentConfig& config, double horizon,
            const std::vector<std::uint32_t>& disk_ids,
            const std::vector<util::Rng>& rngs,
-           const std::vector<const PolicySpec*>& policies)
+           const std::vector<const PolicySpec*>& policies,
+           std::uint32_t obs_mask = 0, double metrics_interval_s = 0.0)
       : horizon_(horizon) {
+    if (obs_mask != 0) {
+      trace_ = std::make_unique<obs::TraceBuffer>(obs_mask);
+    }
     disks_.reserve(disk_ids.size());
     responses_.resize(disk_ids.size());
     for (std::size_t l = 0; l < disk_ids.size(); ++l) {
       disks_.push_back(std::make_unique<disk::Disk>(
           sim_, disk_ids[l], config.params, policies[l]->make(config.params),
           rngs[l], config.scheduler.make()));
+      if (trace_ != nullptr) disks_.back()->set_trace(trace_.get());
       disks_.back()->set_completion_callback(
           [&resp = responses_[l], this](const disk::Completion& c) {
             resp.add(c.response_time());
             hist_.add(c.response_time());
           });
+    }
+    if (trace_ != nullptr) {
+      sampler_ = std::make_unique<obs::MetricsSampler>(
+          sim_, metrics_interval_s, horizon, trace_.get());
+      for (const auto& d : disks_) sampler_->add_disk(d.get());
+      sampler_->start();
     }
   }
   ShardSim(const ShardSim&) = delete;
@@ -129,6 +144,7 @@ public:
 
   double now() const { return sim_.now(); }
   std::uint64_t submissions() const { return submissions_; }
+  obs::TraceBuffer* trace_buffer() { return trace_.get(); }
 
   /// Drain: in-flight services run to completion past the horizon and
   /// still record their response times — the same episode structure as
@@ -141,7 +157,10 @@ public:
     }
     RunResult partial;
     partial.power.horizon_s = horizon_;
-    partial.events = sim_.executed();
+    // Sampler ticks are observation overhead, not simulated physics:
+    // subtract them so `events` matches the untraced run bit-for-bit.
+    partial.events =
+        sim_.executed() - (sampler_ != nullptr ? sampler_->ticks() : 0);
     partial.per_disk = std::move(snapshot_);
     partial.recompute_from_per_disk(hist_);
     return partial;
@@ -149,6 +168,8 @@ public:
 
 private:
   des::Simulation sim_;
+  std::unique_ptr<obs::TraceBuffer> trace_;
+  std::unique_ptr<obs::MetricsSampler> sampler_;
   std::vector<std::unique_ptr<disk::Disk>> disks_;
   std::vector<stats::Welford> responses_;
   stats::LinearHistogram hist_{stats::ResponseSummary::kHistLo,
@@ -191,10 +212,14 @@ struct FleetSetup {
                                        config.num_disks);
   }
 
+  /// `obs_mask` covers the sim-time kinds only (kProfile samples are
+  /// collected by the pipelines themselves, not the shard calendars).
   std::unique_ptr<ShardSim> make_sim(const ExperimentConfig& config,
-                                     std::uint32_t shard) const {
+                                     std::uint32_t shard,
+                                     std::uint32_t obs_mask = 0) const {
     return std::make_unique<ShardSim>(config, horizon, disk_ids[shard],
-                                      rngs[shard], policies[shard]);
+                                      rngs[shard], policies[shard], obs_mask,
+                                      config.obs.metrics_interval_s);
   }
 };
 
@@ -219,6 +244,11 @@ struct LocalWorker {
   double busy_s = 0.0;
   std::exception_ptr error;
   std::vector<RunResult>* partials = nullptr;  ///< slot s+1 per shard s
+  /// kProfile stage sampling (obs profile): wall-clock offsets are taken
+  /// against the run-wide prof_t0 so every lane shares one time origin.
+  bool profiling = false;
+  PerfClock::time_point prof_t0{};
+  std::vector<obs::TraceEvent> prof; ///< kProfWorkerReplay, read after join
 
   void run() {
     try {
@@ -254,10 +284,12 @@ private:
     std::vector<ShardBatch> batches(owned.size());
     double frontier = 0.0;
     std::size_t buffered_windows = 0;
+    std::uint64_t flushes = 0;
     const auto flush = [&] {
       for (std::size_t s = 0; s < owned.size(); ++s) {
         auto& batch = batches[s];
         auto& sim = *sims[s];
+        const double p0 = profiling ? seconds_since(prof_t0) : 0.0;
         for (std::size_t i = 0; i < batch.size(); ++i) {
           sim.advance(batch.time[i]);
           sim.submit(batch.local_disk[i], batch.request_id[i],
@@ -265,8 +297,15 @@ private:
         }
         if (frontier > sim.now()) sim.advance(frontier);
         batch.reset();
+        if (profiling) {
+          prof.push_back(obs::TraceEvent{p0, flushes,
+                                         seconds_since(prof_t0) - p0, 0.0,
+                                         owned[s], obs::Kind::kProfile,
+                                         obs::kProfWorkerReplay});
+        }
       }
       buffered_windows = 0;
+      ++flushes;
     };
     while (!windowed.exhausted()) {
       frontier += window;
@@ -301,11 +340,17 @@ private:
 
 std::vector<RunResult> run_shard_local(const ExperimentConfig& config,
                                        const FleetSetup& setup,
-                                       FleetPerf* perf) {
+                                       FleetPerf* perf,
+                                       obs::RunTrace* trace) {
   const std::uint32_t shards = setup.shards;
   std::uint32_t hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
   const std::uint32_t n_workers = std::min(shards, hw);
+
+  const std::uint32_t mask = trace != nullptr ? config.obs.kind_mask() : 0;
+  const std::uint32_t sim_mask = mask & ~obs::kind_bit(obs::Kind::kProfile);
+  const bool profiling = trace != nullptr && config.obs.profile;
+  const auto prof_t0 = PerfClock::now();
 
   std::vector<RunResult> partials(1 + shards);
   std::vector<LocalWorker> workers(n_workers);
@@ -313,9 +358,11 @@ std::vector<RunResult> run_shard_local(const ExperimentConfig& config,
     workers[w].config = &config;
     workers[w].setup = &setup;
     workers[w].partials = &partials;
+    workers[w].profiling = profiling;
+    workers[w].prof_t0 = prof_t0;
     for (std::uint32_t s = w; s < shards; s += n_workers) {
       workers[w].owned.push_back(s);
-      workers[w].sims.push_back(setup.make_sim(config, s));
+      workers[w].sims.push_back(setup.make_sim(config, s, sim_mask));
     }
   }
   {
@@ -339,6 +386,36 @@ std::vector<RunResult> run_shard_local(const ExperimentConfig& config,
                                           stats::ResponseSummary::kHistHi,
                                           stats::ResponseSummary::kHistBins};
   root.recompute_from_per_disk(empty_hist);
+
+  if (trace != nullptr && mask != 0) {
+    trace->horizon_s = setup.horizon;
+    trace->shards = shards;
+    trace->workers = n_workers;
+    if (sim_mask != 0) {
+      // Buffers gathered in shard order; append_canonical re-sorts by
+      // track (stably), so the gather order never shows in the output.
+      std::vector<obs::TraceBuffer*> buffers(shards, nullptr);
+      for (const auto& worker : workers) {
+        for (std::size_t i = 0; i < worker.owned.size(); ++i) {
+          buffers[worker.owned[i]] = worker.sims[i]->trace_buffer();
+        }
+      }
+      obs::append_canonical(trace->events, buffers);
+    }
+    // Profile samples are wall-clock (never part of the determinism
+    // contract); order them by lane then start offset for readability.
+    for (const auto& worker : workers) {
+      trace->profile.insert(trace->profile.end(), worker.prof.begin(),
+                            worker.prof.end());
+    }
+    std::stable_sort(trace->profile.begin(), trace->profile.end(),
+                     [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                       if (obs::track_rank(a.track) != obs::track_rank(b.track))
+                         return obs::track_rank(a.track) <
+                                obs::track_rank(b.track);
+                       return a.t < b.t;
+                     });
+  }
 
   if (perf != nullptr) {
     perf->workers = n_workers;
@@ -376,12 +453,17 @@ struct RoutedShard {
   util::SpscRing<ShardBatch*> full{kBatchesPerShard};
   util::SpscRing<ShardBatch*> free_ring{kBatchesPerShard};
   std::vector<std::unique_ptr<ShardBatch>> arenas;
+  std::uint32_t shard = 0;
+  /// kProfile stage sampling (obs profile), shared run-wide time origin.
+  bool profiling = false;
+  PerfClock::time_point prof_t0{};
   // Outputs, read after join.
   RunResult partial;
   std::exception_ptr error;
   std::uint64_t batches = 0;
   double busy_s = 0.0;
   double wait_s = 0.0;
+  std::vector<obs::TraceEvent> prof; ///< kProfRingWait / kProfWorkerReplay
 
   void init() {
     arenas.reserve(kBatchesPerShard);
@@ -408,9 +490,16 @@ private:
     for (;;) {
       ShardBatch* batch = nullptr;
       const auto w0 = PerfClock::now();
+      const double wait0 = profiling ? seconds_since(prof_t0) : 0.0;
       if (!full.pop(batch)) return; // rings closed: router-side abort
       wait_s += seconds_since(w0);
       ++batches;
+      if (profiling) {
+        prof.push_back(obs::TraceEvent{
+            wait0, batches, seconds_since(prof_t0) - wait0, 0.0, shard,
+            obs::Kind::kProfile, obs::kProfRingWait});
+      }
+      const double r0 = profiling ? seconds_since(prof_t0) : 0.0;
       for (std::size_t i = 0; i < batch->size(); ++i) {
         sim->advance(batch->time[i]);
         sim->submit(batch->local_disk[i], batch->request_id[i],
@@ -422,6 +511,11 @@ private:
       }
       batch->reset();
       free_ring.try_push(batch); // capacity == arena count: cannot fail
+      if (profiling) {
+        prof.push_back(obs::TraceEvent{
+            r0, batches, seconds_since(prof_t0) - r0, 0.0, shard,
+            obs::Kind::kProfile, obs::kProfWorkerReplay});
+      }
       if (final) break;
     }
     partial = sim->finalize();
@@ -430,15 +524,24 @@ private:
 };
 
 std::vector<RunResult> run_routed(const ExperimentConfig& config,
-                                  const FleetSetup& setup, FleetPerf* perf) {
+                                  const FleetSetup& setup, FleetPerf* perf,
+                                  obs::RunTrace* trace) {
   const std::uint32_t shards = setup.shards;
   const double horizon = setup.horizon;
+
+  const std::uint32_t mask = trace != nullptr ? config.obs.kind_mask() : 0;
+  const std::uint32_t sim_mask = mask & ~obs::kind_bit(obs::Kind::kProfile);
+  const bool profiling = trace != nullptr && config.obs.profile;
+  const auto prof_t0 = PerfClock::now();
 
   std::vector<std::unique_ptr<RoutedShard>> states;
   states.reserve(shards);
   for (std::uint32_t w = 0; w < shards; ++w) {
     auto state = std::make_unique<RoutedShard>();
-    state->sim = setup.make_sim(config, w);
+    state->sim = setup.make_sim(config, w, sim_mask);
+    state->shard = w;
+    state->profiling = profiling;
+    state->prof_t0 = prof_t0;
     state->init();
     states.push_back(std::move(state));
   }
@@ -446,6 +549,16 @@ std::vector<RunResult> run_routed(const ExperimentConfig& config,
   const auto cache = config.cache.make();
   const auto stream =
       config.workload.make_stream(*config.catalog, config.seed);
+
+  // The router is the fleet's dispatcher: it owns the cache and performs
+  // every routing decision in global arrival order, so the dispatcher-track
+  // span events (cache hit/miss) are emitted here — same gate and fields as
+  // Dispatcher::dispatch, hence bit-identical to the single-calendar path.
+  obs::TraceBuffer router_trace{sim_mask};
+  const bool span_trace =
+      cache != nullptr && router_trace.wants(obs::Kind::kSpan);
+  std::vector<obs::TraceEvent> router_prof; ///< kProfRouterFill per window
+  std::uint64_t window_idx = 0;
 
   RunResult root;
   root.power.horizon_s = horizon;
@@ -494,6 +607,7 @@ std::vector<RunResult> run_routed(const ExperimentConfig& config,
       std::vector<ShardBatch*> current(shards, nullptr);
       double frontier = 0.0;
       while (!windowed.exhausted()) {
+        const double f0 = profiling ? seconds_since(prof_t0) : 0.0;
         frontier += window;
         if (windowed.next_arrival() >= frontier) {
           // Idle stretch: jump the frontier to the next arrival's window
@@ -515,6 +629,11 @@ std::vector<RunResult> run_routed(const ExperimentConfig& config,
             // Cache hit, served from memory with zero latency (the only
             // latency the experiment path configures): recorded here, in
             // arrival order, exactly as the single-calendar path does.
+            if (span_trace) {
+              router_trace.emit(obs::Kind::kSpan, obs::kSpanCacheHit,
+                                block.arrival[i], obs::kDispatcherTrack,
+                                block.id[i], file.size);
+            }
             root.hits_response.add(0.0);
             root_hist.add(0.0);
             continue;
@@ -524,6 +643,11 @@ std::vector<RunResult> run_routed(const ExperimentConfig& config,
                                         ? block.lba[i]
                                         : extent.lba;
           const std::uint32_t disk = config.mapping[file.id];
+          if (span_trace) {
+            router_trace.emit(obs::Kind::kSpan, obs::kSpanCacheMiss,
+                              block.arrival[i], obs::kDispatcherTrack,
+                              block.id[i], disk);
+          }
           current[disk % shards]->push(block.arrival[i], block.id[i],
                                        file.size, lba, extent.blocks,
                                        disk / shards);
@@ -533,6 +657,13 @@ std::vector<RunResult> run_routed(const ExperimentConfig& config,
           publish(w, current[w]);
           current[w] = nullptr;
         }
+        if (profiling) {
+          router_prof.push_back(obs::TraceEvent{
+              f0, window_idx, seconds_since(prof_t0) - f0, 0.0,
+              obs::kDispatcherTrack, obs::Kind::kProfile,
+              obs::kProfRouterFill});
+        }
+        ++window_idx;
       }
       for (std::uint32_t w = 0; w < shards; ++w) {
         ShardBatch* last = acquire(w);
@@ -561,6 +692,34 @@ std::vector<RunResult> run_routed(const ExperimentConfig& config,
   root.requests = dispatched;
   if (cache != nullptr) root.cache = cache->stats();
   root.recompute_from_per_disk(root_hist);
+
+  if (trace != nullptr && mask != 0) {
+    trace->horizon_s = horizon;
+    trace->shards = shards;
+    trace->workers = shards;
+    if (sim_mask != 0) {
+      std::vector<obs::TraceBuffer*> buffers;
+      buffers.reserve(1 + shards);
+      buffers.push_back(&router_trace);
+      for (const auto& state : states) {
+        buffers.push_back(state->sim->trace_buffer());
+      }
+      obs::append_canonical(trace->events, buffers);
+    }
+    trace->profile.insert(trace->profile.end(), router_prof.begin(),
+                          router_prof.end());
+    for (const auto& state : states) {
+      trace->profile.insert(trace->profile.end(), state->prof.begin(),
+                            state->prof.end());
+    }
+    std::stable_sort(trace->profile.begin(), trace->profile.end(),
+                     [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                       if (obs::track_rank(a.track) != obs::track_rank(b.track))
+                         return obs::track_rank(a.track) <
+                                obs::track_rank(b.track);
+                       return a.t < b.t;
+                     });
+  }
 
   std::vector<RunResult> partials;
   partials.reserve(1 + shards);
@@ -614,7 +773,8 @@ std::uint32_t effective_shards(std::uint32_t requested,
 
 std::vector<RunResult> run_fleet_partials(const ExperimentConfig& config,
                                           std::uint32_t shards,
-                                          FleetPath path, FleetPerf* perf) {
+                                          FleetPath path, FleetPerf* perf,
+                                          obs::RunTrace* trace) {
   if (config.catalog == nullptr) {
     throw std::invalid_argument{"ExperimentConfig: catalog is required"};
   }
@@ -649,9 +809,10 @@ std::vector<RunResult> run_fleet_partials(const ExperimentConfig& config,
     perf->path = path;
     perf->shards = shards;
   }
+  if (trace != nullptr && !config.obs.enabled()) trace = nullptr;
   return path == FleetPath::kShardLocal
-             ? run_shard_local(config, setup, perf)
-             : run_routed(config, setup, perf);
+             ? run_shard_local(config, setup, perf, trace)
+             : run_routed(config, setup, perf, trace);
 }
 
 std::vector<RunResult> run_fleet_partials(const ExperimentConfig& config,
@@ -660,8 +821,8 @@ std::vector<RunResult> run_fleet_partials(const ExperimentConfig& config,
 }
 
 RunResult run_fleet(const ExperimentConfig& config, std::uint32_t shards,
-                    FleetPath path, FleetPerf* perf) {
-  auto partials = run_fleet_partials(config, shards, path, perf);
+                    FleetPath path, FleetPerf* perf, obs::RunTrace* trace) {
+  auto partials = run_fleet_partials(config, shards, path, perf, trace);
   RunResult result;
   for (const auto& p : partials) result.merge(p);
   return result;

@@ -131,12 +131,18 @@ inline constexpr std::uint32_t kAutoMinDisksPerShard = 32;
 /// forcing kShardLocal on a non-decomposable config throws
 /// std::invalid_argument (the fast path cannot replay cache decisions).
 /// `perf`, when non-null, receives the run's pipeline diagnostics.
+/// `trace`, when non-null and config.obs enables any kind, receives the
+/// canonical sim-time event stream (obs::append_canonical order —
+/// bit-identical at any shard count on either pipeline, and to the
+/// single-calendar path) plus, when config.obs.profile is set, wall-clock
+/// pipeline stage samples in RunTrace::profile.
 /// Requires a positive measurement horizon (every built-in workload has
 /// one).  Throws std::invalid_argument on config errors.
 std::vector<RunResult> run_fleet_partials(const ExperimentConfig& config,
                                           std::uint32_t shards,
                                           FleetPath path,
-                                          FleetPerf* perf = nullptr);
+                                          FleetPerf* perf = nullptr,
+                                          obs::RunTrace* trace = nullptr);
 /// As above with path = classify_fleet_path(config).
 std::vector<RunResult> run_fleet_partials(const ExperimentConfig& config,
                                           std::uint32_t shards);
@@ -145,7 +151,8 @@ std::vector<RunResult> run_fleet_partials(const ExperimentConfig& config,
 /// the merged result.  Bit-identical to run_experiment with shards == 1 on
 /// every physical field, whichever pipeline runs.
 RunResult run_fleet(const ExperimentConfig& config, std::uint32_t shards,
-                    FleetPath path, FleetPerf* perf = nullptr);
+                    FleetPath path, FleetPerf* perf = nullptr,
+                    obs::RunTrace* trace = nullptr);
 /// As above with path = classify_fleet_path(config).
 RunResult run_fleet(const ExperimentConfig& config, std::uint32_t shards);
 

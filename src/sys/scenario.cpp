@@ -13,6 +13,7 @@
 #include "core/pack_segregated.h"
 #include "core/random_alloc.h"
 #include "core/sea.h"
+#include "sys/fleet.h"
 #include "sys/spec_grammar.h"
 #include "sys/sweep.h"
 #include "util/rng.h"
@@ -358,11 +359,13 @@ void apply_key(ScenarioSpec& s, const std::string& key,
       }
       s.shards = static_cast<std::uint32_t>(n);
     }
+  } else if (key == "obs") {
+    s.obs = ObsSpec::parse(value);
   } else {
     throw std::invalid_argument{
         "ScenarioSpec: unknown key '" + key +
         "' (want label|catalog|placement|load|disks|policy|sched|cache|"
-        "workload|seed|shards)"};
+        "workload|seed|shards|obs)"};
   }
 }
 
@@ -409,6 +412,9 @@ std::string ScenarioSpec::spec() const {
     out += " shards=";
     out += shards == 0 ? "auto" : std::to_string(shards);
   }
+  // Same convention as shards: observability never changes results, so the
+  // key appears only when something is enabled.
+  if (obs.enabled()) out += " obs=" + obs.spec();
   return out;
 }
 
@@ -633,6 +639,7 @@ ResolvedScenario ScenarioCache::resolve(const ScenarioSpec& spec) {
   cfg.workload = replays ? WorkloadSpec::replay(*cat.trace) : spec.workload;
   cfg.seed = spec.seed;
   cfg.shards = spec.shards;
+  cfg.obs = spec.obs;
   // Every built-in placement resolved to the static mapping vector above;
   // a dynamic placement would instead flag the fleet router here.
   cfg.dynamic_routing = !spec.placement.static_mapping();
@@ -648,6 +655,12 @@ ResolvedScenario resolve_scenario(const ScenarioSpec& spec) {
 RunResult run_scenario(const ScenarioSpec& spec) {
   const auto resolved = resolve_scenario(spec);
   return run_experiment(resolved.config);
+}
+
+RunResult run_scenario(const ScenarioSpec& spec, obs::RunTrace* trace,
+                       FleetPerf* perf) {
+  const auto resolved = resolve_scenario(spec);
+  return run_experiment(resolved.config, trace, perf);
 }
 
 std::vector<RunResult> run_scenarios(std::span<const ScenarioSpec> specs,
@@ -690,7 +703,54 @@ std::string to_json(const RunResult& r) {
          std::to_string(r.completed_at_horizon);
   out += ", \"in_flight_at_horizon\": " +
          std::to_string(r.in_flight_at_horizon);
+  // Farm-wide idle-period structure: the per-disk LogHistograms merged
+  // bin-wise (order-independent), summarized the same way at any shard
+  // count.  The signal the spin-down economics turn on.
+  stats::LogHistogram idle{disk::DiskMetrics::kIdleHistLo,
+                           disk::DiskMetrics::kIdleHistHi,
+                           disk::DiskMetrics::kIdleHistBins};
+  for (const auto& d : r.per_disk) idle.merge(d.idle_periods);
+  out += ", \"idle_periods\": {\"count\": " + std::to_string(idle.binned());
+  out += ", \"mean_s\": " + num(idle.mean());
+  out += ", \"p50_s\": " + num(idle.percentile(50.0));
+  out += ", \"p99_s\": " + num(idle.percentile(99.0));
   out += "}";
+  out += "}";
+  return out;
+}
+
+std::string to_json(const FleetPerf& perf) {
+  const auto num = [](double v) { return util::format_roundtrip(v); };
+  std::string out = "{";
+  out += "\"path\": \"";
+  out += perf.path == FleetPath::kShardLocal ? "shard-local" : "routed";
+  out += "\"";
+  out += ", \"shards\": " + std::to_string(perf.shards);
+  out += ", \"workers\": " + std::to_string(perf.workers);
+  out += ", \"router_busy_s\": " + num(perf.router_busy_s);
+  out += ", \"router_stall_s\": " + num(perf.router_stall_s);
+  out += ", \"worker_busy_s\": [";
+  for (std::size_t w = 0; w < perf.worker_busy_s.size(); ++w) {
+    if (w != 0) out += ", ";
+    out += num(perf.worker_busy_s[w]);
+  }
+  out += "], \"worker_wait_s\": [";
+  for (std::size_t w = 0; w < perf.worker_wait_s.size(); ++w) {
+    if (w != 0) out += ", ";
+    out += num(perf.worker_wait_s[w]);
+  }
+  out += "], \"per_shard\": [";
+  for (std::size_t s = 0; s < perf.per_shard.size(); ++s) {
+    const auto& row = perf.per_shard[s];
+    if (s != 0) out += ", ";
+    out += "{\"shard\": " + std::to_string(row.shard);
+    out += ", \"submissions\": " + std::to_string(row.submissions);
+    out += ", \"batches\": " + std::to_string(row.batches);
+    out += ", \"events\": " + std::to_string(row.events);
+    out += ", \"ring_high_water\": " + std::to_string(row.ring_high_water);
+    out += "}";
+  }
+  out += "]}";
   return out;
 }
 

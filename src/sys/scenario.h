@@ -175,10 +175,17 @@ struct ScenarioSpec {
   /// NOT part of the result-determining scenario identity: spec() omits
   /// the key at its default.
   std::uint32_t shards = 1;
+  /// `obs=<spec>`: which observability event families a traced run records
+  /// (ObsSpec grammar: "off", "all", or '+'-joined
+  /// spans|power|policy|metrics[:interval]|profile).  Like shards, tracing
+  /// never changes results — the canonical sim-time event stream is
+  /// bit-identical at any shard count and the RunResult matches the
+  /// untraced run — so spec() omits the key at its default ("off").
+  ObsSpec obs;
 
   /// Parse a whitespace-separated `key=value` list.  Keys: label, catalog,
   /// placement, load, disks, policy, sched (alias scheduler), cache,
-  /// workload, seed, shards; missing keys keep their defaults, unknown
+  /// workload, seed, shards, obs; missing keys keep their defaults, unknown
   /// keys throw std::invalid_argument, later duplicates win.
   static ScenarioSpec parse(const std::string& text);
   /// Canonical fully-explicit key=value string such that
@@ -241,14 +248,27 @@ ResolvedScenario resolve_scenario(const ScenarioSpec& spec);
 /// Resolve and run one scenario.
 RunResult run_scenario(const ScenarioSpec& spec);
 
+/// Resolve and run one scenario, collecting observability output: when
+/// `trace` is non-null and spec.obs enables any kind, the canonical trace
+/// lands in it (run_experiment's traced overload); `perf`, when non-null,
+/// receives the fleet pipeline diagnostics.
+RunResult run_scenario(const ScenarioSpec& spec, obs::RunTrace* trace,
+                       FleetPerf* perf = nullptr);
+
 /// Resolve all scenarios through one shared cache, then run them in
 /// parallel via run_sweep.  Results land in input order.
 std::vector<RunResult> run_scenarios(std::span<const ScenarioSpec> specs,
                                      unsigned max_threads = 0);
 
-/// Machine-readable flat JSON object over a run's headline metrics.
+/// Machine-readable flat JSON object over a run's headline metrics,
+/// including an "idle_periods" summary (count/mean/p50/p99) of the
+/// farm-merged per-disk idle-period histogram.
 std::string to_json(const RunResult& result);
 /// Same, prefixed with the scenario's canonical string (one sweep row).
 std::string to_json(const ScenarioSpec& spec, const RunResult& result);
+/// Machine-readable JSON object over one fleet run's pipeline diagnostics
+/// (sys/fleet.h FleetPerf), with one row per shard.  Wall-clock timings:
+/// never deterministic, never part of a result.
+std::string to_json(const FleetPerf& perf);
 
 } // namespace spindown::sys

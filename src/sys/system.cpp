@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "adapt/idle_predictor.h"
+#include "obs/sampler.h"
 #include "sys/spec_grammar.h"
 #include "adapt/share.h"
 #include "adapt/slack.h"
@@ -307,8 +308,18 @@ RunResult StorageSystem::run(workload::RequestStream& stream,
   disk_ptrs.reserve(disks.size());
   for (auto& d : disks) disk_ptrs.push_back(d.get());
 
+  // Tracing: one single-writer buffer (this path is single-threaded), with
+  // the canonical track sort applied at the end.  Read-only with respect to
+  // the physics, so the RunResult is identical with tracing on or off.
+  const bool tracing = obs_out_ != nullptr && obs_mask_ != 0;
+  obs::TraceBuffer trace{tracing ? obs_mask_ : 0};
+  if (tracing) {
+    for (auto& d : disks) d->set_trace(&trace);
+  }
+
   Dispatcher dispatcher{sim,       catalog_, mapping_,
                         disk_ptrs, cache_,   cache_hit_latency_};
+  if (tracing) dispatcher.set_trace(&trace);
   dispatcher.set_hit_callback([&result, &hist](std::uint64_t, double latency) {
     result.hits_response.add(latency);
     hist.add(latency);
@@ -341,6 +352,15 @@ RunResult StorageSystem::run(workload::RequestStream& stream,
   // (measure over the whole episode).
   std::vector<disk::DiskMetrics> snapshot;
   const bool fixed_window = min_horizon > 0.0;
+  // Metrics sampling needs a known horizon; open-ended episodes (min_horizon
+  // == 0) have none, matching the fleet path's positive-horizon requirement.
+  obs::MetricsSampler sampler{sim, obs_interval_s_,
+                              fixed_window ? min_horizon : 0.0,
+                              tracing ? &trace : nullptr};
+  if (tracing && fixed_window) {
+    for (auto& d : disks) sampler.add_disk(d.get());
+    sampler.start();
+  }
   if (fixed_window) {
     sim.schedule_at(min_horizon, [&] {
       snapshot.clear();
@@ -358,7 +378,9 @@ RunResult StorageSystem::run(workload::RequestStream& stream,
   }
 
   result.requests = dispatcher.dispatched();
-  result.events = sim.executed();
+  // Sampler ticks are bookkeeping events, not simulation work; subtracting
+  // them keeps `events` identical to the untraced run.
+  result.events = sim.executed() - sampler.ticks();
   result.power.horizon_s = horizon;
   // The snapshot freezes the power/queue counters at the horizon; response
   // moments cover the whole episode (post-horizon drain included), so they
@@ -367,6 +389,13 @@ RunResult StorageSystem::run(workload::RequestStream& stream,
   result.per_disk = std::move(snapshot);
   if (cache_ != nullptr) result.cache = cache_->stats();
   result.recompute_from_per_disk(hist);
+  if (tracing) {
+    obs_out_->horizon_s = horizon;
+    obs_out_->shards = 1;
+    obs_out_->workers = 1;
+    obs::TraceBuffer* const buffers[] = {&trace};
+    obs::append_canonical(obs_out_->events, buffers);
+  }
   return result;
 }
 

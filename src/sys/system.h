@@ -200,6 +200,18 @@ public:
   /// seed-compatible behavior).  Call before run().
   void set_scheduler(const SchedulerSpec& scheduler) { scheduler_ = scheduler; }
 
+  /// Enable tracing for the next run(): record the event kinds in
+  /// `kind_mask` (obs::kind_bit), sampling metrics every
+  /// `metrics_interval_s` of sim time, into `out` (canonical order).
+  /// Tracing is read-only — the RunResult is bit-identical with it on or
+  /// off.  Call before run(); null `out` or an empty mask disables.
+  void set_obs(std::uint32_t kind_mask, double metrics_interval_s,
+               obs::RunTrace* out) {
+    obs_mask_ = kind_mask;
+    obs_interval_s_ = metrics_interval_s;
+    obs_out_ = out;
+  }
+
   /// Drive the stream to exhaustion, measure energy over
   /// [0, max(stream end, `min_horizon`)], then drain in-flight requests.
   RunResult run(workload::RequestStream& stream, double min_horizon = 0.0);
@@ -215,6 +227,9 @@ private:
   std::uint64_t seed_;
   double cache_hit_latency_;
   std::vector<std::pair<std::uint32_t, PolicySpec>> policy_overrides_;
+  std::uint32_t obs_mask_ = 0;
+  double obs_interval_s_ = 60.0;
+  obs::RunTrace* obs_out_ = nullptr;
 };
 
 /// Closed-form energy of the same served workload with power management

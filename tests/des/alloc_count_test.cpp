@@ -21,6 +21,7 @@
 #include "disk/disk.h"
 #include "disk/io_scheduler.h"
 #include "disk/spin_policy.h"
+#include "obs/trace.h"
 #include "util/units.h"
 
 namespace {
@@ -150,6 +151,84 @@ TEST(AllocCount, DiskSubmitCompleteCycleIsAllocationFreeSstf) {
 
 TEST(AllocCount, DiskSubmitCompleteCycleIsAllocationFreeBatch) {
   run_disk_cycle_test(spindown::disk::make_batch_scheduler());
+}
+
+// The same disk cycle with observability wired but OFF: a Disk holding a
+// null TraceBuffer pointer (the obs=off path is a branch on that null) must
+// stay exactly as allocation-free as an untraced disk.
+TEST(AllocCount, DiskCycleWithObsOffIsAllocationFree) {
+  using spindown::disk::Completion;
+  using spindown::disk::Disk;
+  Simulation sim;
+  Disk disk{sim, 0, spindown::disk::DiskParams::st3500630as(),
+            spindown::disk::make_never_policy(), spindown::util::Rng{1},
+            spindown::disk::make_fcfs_scheduler()};
+  disk.set_trace(nullptr); // obs=off: explicit null sink
+
+  struct Chain {
+    Simulation& sim;
+    Disk& disk;
+    std::uint64_t remaining;
+    std::uint64_t measure_at;
+    std::uint64_t before = 0;
+    std::uint64_t lba = 0;
+    void submit_next() {
+      lba = (lba + 4096) % 1'000'000;
+      disk.submit(remaining, 100 * spindown::util::kBlockBytes, lba, 100);
+    }
+    void operator()(const Completion&) {
+      if (remaining == measure_at) before = allocation_count();
+      if (remaining-- > 0) submit_next();
+    }
+  };
+  Chain chain{sim, disk, 20'000, /*measure_at=*/18'000};
+  disk.set_completion_callback([&chain](const Completion& c) { chain(c); });
+  sim.schedule_at(0.0, [&chain] { chain.submit_next(); });
+  sim.run();
+  const std::uint64_t after = allocation_count();
+  EXPECT_EQ(after - chain.before, 0u);
+}
+
+// Tracing into a pre-reserved buffer: the emit path is a bounds-checked
+// push_back, so once the buffer holds enough capacity the traced steady
+// state allocates nothing either.
+TEST(AllocCount, DiskCycleTracingIntoReservedBufferIsAllocationFree) {
+  using spindown::disk::Completion;
+  using spindown::disk::Disk;
+  Simulation sim;
+  spindown::obs::TraceBuffer trace{
+      spindown::obs::kind_bit(spindown::obs::Kind::kSpan) |
+      spindown::obs::kind_bit(spindown::obs::Kind::kPower)};
+  // 5 span edges plus up to 3 power transitions per request.
+  trace.reserve(10 * 21'000);
+  Disk disk{sim, 0, spindown::disk::DiskParams::st3500630as(),
+            spindown::disk::make_never_policy(), spindown::util::Rng{1},
+            spindown::disk::make_fcfs_scheduler()};
+  disk.set_trace(&trace);
+
+  struct Chain {
+    Simulation& sim;
+    Disk& disk;
+    std::uint64_t remaining;
+    std::uint64_t measure_at;
+    std::uint64_t before = 0;
+    std::uint64_t lba = 0;
+    void submit_next() {
+      lba = (lba + 4096) % 1'000'000;
+      disk.submit(remaining, 100 * spindown::util::kBlockBytes, lba, 100);
+    }
+    void operator()(const Completion&) {
+      if (remaining == measure_at) before = allocation_count();
+      if (remaining-- > 0) submit_next();
+    }
+  };
+  Chain chain{sim, disk, 20'000, /*measure_at=*/18'000};
+  disk.set_completion_callback([&chain](const Completion& c) { chain(c); });
+  sim.schedule_at(0.0, [&chain] { chain.submit_next(); });
+  sim.run();
+  const std::uint64_t after = allocation_count();
+  EXPECT_EQ(after - chain.before, 0u);
+  EXPECT_GT(trace.size(), 5u * 20'000u); // the events really were recorded
 }
 
 TEST(AllocCount, OversizedCaptureDoesAllocate) {

@@ -358,7 +358,7 @@ TEST(ScenarioRun, SweepMatchesIndividualRuns) {
   }
 }
 
-TEST(ScenarioJson, EmitsOneFlatParseableObject) {
+TEST(ScenarioJson, EmitsOneParseableObject) {
   const auto result = run_scenario(small_packed_scenario());
   const auto json = to_json(small_packed_scenario(), result);
   EXPECT_EQ(json.front(), '{');
@@ -367,8 +367,18 @@ TEST(ScenarioJson, EmitsOneFlatParseableObject) {
             std::string::npos);
   EXPECT_NE(json.find("\"energy_j\": "), std::string::npos);
   EXPECT_NE(json.find("\"resp_p99_s\": "), std::string::npos);
-  // No nested objects and balanced quoting: a cheap well-formedness check.
-  EXPECT_EQ(json.find('{', 1), std::string::npos);
+  // The one nested object is the idle-period histogram summary; braces
+  // balance — a cheap well-formedness check.
+  const auto nested = json.find('{', 1);
+  ASSERT_NE(nested, std::string::npos);
+  EXPECT_LT(json.find("\"idle_periods\": ", 1), nested);
+  EXPECT_NE(json.find("\"p99_s\": ", nested), std::string::npos);
+  std::size_t depth = 0;
+  for (const char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+  }
+  EXPECT_EQ(depth, 0u);
 }
 
 } // namespace

@@ -114,6 +114,21 @@ public:
     }
   }
 
+  ObsSpec obs() {
+    ObsSpec o;
+    // Half the draws stay fully off (the default); the rest toggle each
+    // kind independently so every subset of the grammar gets exercised.
+    if (coin()) {
+      o.spans = coin();
+      o.power = coin();
+      o.policy = coin();
+      o.metrics = coin();
+      o.profile = coin();
+      if (o.metrics && coin()) o.metrics_interval_s = real(0.001, 1e5);
+    }
+    return o;
+  }
+
   PlacementSpec placement() {
     switch (integer(0, 6)) {
       case 0: return PlacementSpec::pack();
@@ -151,6 +166,7 @@ public:
         break;
       default: s.shards = 1; break;
     }
+    s.obs = obs();
     return s;
   }
 
@@ -220,6 +236,21 @@ TEST(SpecRoundTripFuzz, WorkloadSpecIdentity) {
     }
   }
   EXPECT_EQ(WorkloadSpec::parse("replay").spec(), "replay");
+}
+
+TEST(SpecRoundTripFuzz, ObsSpecIdentity) {
+  Fuzz fuzz{108};
+  for (int i = 0; i < kIterations; ++i) {
+    const auto s = fuzz.obs();
+    SCOPED_TRACE(s.spec());
+    const auto parsed = ObsSpec::parse(s.spec());
+    EXPECT_EQ(parsed, s); // defaulted ==: every flag and the interval
+    EXPECT_EQ(parsed.spec(), s.spec());
+    EXPECT_EQ(parsed.kind_mask(), s.kind_mask());
+  }
+  // The aliases parse too, and "off" is the canonical empty rendering.
+  EXPECT_EQ(ObsSpec::parse("all"), ObsSpec::all());
+  EXPECT_EQ(ObsSpec::off().spec(), "off");
 }
 
 TEST(SpecRoundTripFuzz, CatalogSpecIdentity) {

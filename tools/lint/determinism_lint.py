@@ -20,6 +20,12 @@ silently break that contract:
                        tests/sys/spec_roundtrip_fuzz_test.cpp, so a new
                        scenario axis cannot ship without a parse(spec())
                        round-trip guard.
+  obs                  Wall-clock waivers are confined to the observability
+                       layer's profiling timer: a DETERMINISM-OK(wall-clock)
+                       annotation anywhere but src/obs/profile.h fires this
+                       rule.  Profiling code must route through
+                       obs::ProfileClock so the repo keeps exactly one
+                       sanctioned wall-clock site.
 
 Suppressions: a finding is waived by an annotation on the same line or the
 line directly above it, and the justification is mandatory:
@@ -48,7 +54,11 @@ import sys
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 RULES = ("wall-clock", "unordered-iteration", "static-mutable",
-         "spec-coverage")
+         "spec-coverage", "obs")
+
+# The one file allowed to carry a DETERMINISM-OK(wall-clock) waiver: the
+# observability layer's profiling clock (obs::ProfileClock).
+OBS_WALLCLOCK_SANCTIONED = os.path.join("obs", "profile.h")
 
 ALLOW_RE = re.compile(r"//\s*DETERMINISM-OK\(([a-z-]+)\)\s*:\s*(\S.*)?$")
 
@@ -349,6 +359,33 @@ def check_static_mutable(path: str, stripped: str,
     return findings
 
 
+# --- rule: obs --------------------------------------------------------------
+
+
+def check_obs_wallclock(path: str, raw_lines: Sequence[str],
+                        allows: Dict[int, Tuple[str, str]]) -> List[Finding]:
+    """A wall-clock waiver outside src/obs/profile.h: the waived read itself
+    is legal C++, but it forks a second wall-clock site — profiling timers
+    must go through obs::ProfileClock instead."""
+    if path.replace(os.sep, "/").endswith(
+            OBS_WALLCLOCK_SANCTIONED.replace(os.sep, "/")):
+        return []
+    findings: List[Finding] = []
+    for lineno, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if not m or m.group(1) != "wall-clock":
+            continue
+        if is_allowed(allows, lineno, "obs", findings, path):
+            continue
+        findings.append(
+            Finding(
+                path, lineno, "obs",
+                "wall-clock waiver outside src/obs/profile.h — profiling "
+                "timers must use obs::ProfileClock, the repo's sole "
+                "sanctioned wall-clock site"))
+    return findings
+
+
 # --- rule: spec-coverage ----------------------------------------------------
 
 
@@ -396,7 +433,8 @@ def lint_file(path: str, rules: Sequence[str]) -> List[Finding]:
         text = open(path, encoding="utf-8").read()
     except OSError as e:
         return [Finding(path, 1, "wall-clock", f"cannot read file: {e}")]
-    allows = collect_allows(text.splitlines())
+    raw_lines = text.splitlines()
+    allows = collect_allows(raw_lines)
     stripped = strip_comments_and_strings(text)
     findings: List[Finding] = []
     if "wall-clock" in rules:
@@ -405,6 +443,8 @@ def lint_file(path: str, rules: Sequence[str]) -> List[Finding]:
         findings += check_unordered_iteration(path, stripped, allows)
     if "static-mutable" in rules:
         findings += check_static_mutable(path, stripped, allows)
+    if "obs" in rules:
+        findings += check_obs_wallclock(path, raw_lines, allows)
     return findings
 
 
@@ -457,6 +497,9 @@ def self_test(fixture_dir: str) -> int:
         ("bad_wallclock.cpp", "wall-clock", 3),
         ("bad_unordered_iter.cpp", "unordered-iteration", 2),
         ("bad_static_state.cpp", "static-mutable", 2),
+        # The wall-clock use is waived (with a reason), so only the obs rule
+        # fires: the waiver itself is the violation outside obs/profile.h.
+        ("bad_obs_wallclock.cpp", "obs", 1),
     ]
     for name, rule, min_count in cases:
         path = os.path.join(fixture_dir, name)

@@ -1,0 +1,11 @@
+// Fixture: a DETERMINISM-OK(wall-clock) waiver outside src/obs/profile.h
+// must fire the obs rule — the waived read is suppressed, but the waiver
+// itself forks a second sanctioned wall-clock site.
+// (Not part of the build; consumed by determinism_lint.py --self-test.)
+#include <chrono>
+
+double sneaky_profile_timer() {
+  // DETERMINISM-OK(wall-clock): hand-rolled stage timer, looks plausible.
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
