@@ -1,0 +1,42 @@
+#include "adapt/signals.h"
+
+#include <algorithm>
+
+namespace spindown::adapt {
+
+void StreamingQuantile::add(double x) {
+  if (x < 0.0) return;
+  ++samples_;
+  if (samples_ == 1) {
+    estimate_ = x;
+    return;
+  }
+  // The max(estimate, 0.1·x) step floor restarts a collapsed estimate: if
+  // the stream jumps upward after the estimate converged near zero, a step
+  // proportional to the estimate alone could never catch up.
+  const double step = gain_ * std::max(estimate_, x * 0.1);
+  if (x > estimate_) {
+    estimate_ += step * p_;
+  } else {
+    estimate_ -= step * (1.0 - p_);
+  }
+  estimate_ = std::max(0.0, estimate_);
+}
+
+void RateEwma::observe_arrival(double t) {
+  ++arrivals_;
+  if (arrivals_ == 1) {
+    last_arrival_ = t;
+    return;
+  }
+  const double gap = std::max(1e-9, t - last_arrival_);
+  last_arrival_ = t;
+  if (arrivals_ == 2) {
+    gap_ewma_ = gap;
+  } else {
+    gap_ewma_ = alpha_ * gap + (1.0 - alpha_) * gap_ewma_;
+  }
+  rate_ = 1.0 / gap_ewma_;
+}
+
+} // namespace spindown::adapt

@@ -10,7 +10,8 @@ namespace spindown::adapt {
 SlackAwarePolicy::SlackAwarePolicy(const disk::DiskParams& params,
                                    SlackConfig config)
     : config_(config), break_even_(params.break_even_threshold()),
-      threshold_(config.floor_factor * break_even_) {
+      threshold_(config.floor_factor * break_even_),
+      quantile_(config.percentile, config.quantile_gain) {
   if (config_.target_response_s <= 0.0) {
     throw std::invalid_argument{"SlackAwarePolicy: SLO must be > 0"};
   }
@@ -37,26 +38,10 @@ std::optional<double> SlackAwarePolicy::idle_timeout(util::Rng&) {
 
 void SlackAwarePolicy::observe_completion(double response_time_s) {
   if (response_time_s < 0.0) return;
-  ++completions_;
-  if (completions_ == 1) {
-    quantile_ = response_time_s;
-  } else {
-    // Stochastic-approximation quantile tracking: in equilibrium the
-    // up-steps (taken with probability 1−p) balance the down-steps (taken
-    // with probability p), which happens exactly at the p-quantile.
-    const double p = config_.percentile / 100.0;
-    const double step =
-        config_.quantile_gain * std::max(quantile_, response_time_s * 0.1);
-    if (response_time_s > quantile_) {
-      quantile_ += step * p;
-    } else {
-      quantile_ -= step * (1.0 - p);
-    }
-    quantile_ = std::max(0.0, quantile_);
-  }
+  quantile_.add(response_time_s);
   const double lo = config_.floor_factor * break_even_;
   const double hi = config_.max_factor * break_even_;
-  if (quantile_ > config_.target_response_s) {
+  if (quantile_.estimate() > config_.target_response_s) {
     threshold_ = std::min(hi, threshold_ * config_.widen);
   } else {
     threshold_ = std::max(lo, threshold_ * config_.narrow);

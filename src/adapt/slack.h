@@ -20,9 +20,9 @@
 // dead-zone spin-downs (gaps just past B) on bursty traffic, improving
 // energy and response together.
 //
-// The percentile estimator is the stochastic-approximation quantile tracker
-// (Frugal-style): step up by gain·q·p on a sample above the estimate, down
-// by gain·q·(1−p) otherwise — O(1) state, converges to the p-quantile, and
+// The percentile estimator is adapt::StreamingQuantile (signals.h), the
+// stochastic-approximation quantile tracker (Frugal-style) shared with the
+// fleet orchestration layer — O(1) state, converges to the p-quantile, and
 // keeps adapting when the workload drifts.
 #pragma once
 
@@ -31,6 +31,7 @@
 #include <optional>
 #include <string>
 
+#include "adapt/signals.h"
 #include "disk/params.h"
 #include "disk/spin_policy.h"
 
@@ -62,15 +63,14 @@ public:
   /// Trace probe: the controller's current spin-down threshold.
   double trace_estimate() const override { return threshold_; }
   /// Current streaming estimate of the tracked percentile.
-  double estimated_percentile() const { return quantile_; }
-  std::uint64_t completions() const { return completions_; }
+  double estimated_percentile() const { return quantile_.estimate(); }
+  std::uint64_t completions() const { return quantile_.samples(); }
 
 private:
   SlackConfig config_;
   double break_even_;
   double threshold_;
-  double quantile_ = 0.0;
-  std::uint64_t completions_ = 0;
+  StreamingQuantile quantile_;
 };
 
 std::unique_ptr<disk::SpinDownPolicy> make_slack_policy(

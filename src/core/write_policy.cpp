@@ -19,6 +19,11 @@ void WritePlacer::add_used(std::uint32_t disk, util::Bytes bytes) {
   }
 }
 
+void WritePlacer::release(std::uint32_t disk, util::Bytes bytes) {
+  auto& used = used_.at(disk);
+  used = bytes > used ? 0 : used - bytes;
+}
+
 util::Bytes WritePlacer::free_on(std::uint32_t disk) const {
   return capacity_ - used_.at(disk);
 }

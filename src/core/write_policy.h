@@ -25,6 +25,10 @@ public:
   /// Account existing usage (e.g. from the read catalog's allocation).
   void add_used(std::uint32_t disk, util::Bytes bytes);
 
+  /// Return space to a disk (a buffered write destaged off a log disk, a
+  /// file relocated by reorganization).  Clamps at zero.
+  void release(std::uint32_t disk, util::Bytes bytes);
+
   util::Bytes free_on(std::uint32_t disk) const;
 
   /// Choose a disk for a `size`-byte write given which disks are currently

@@ -24,6 +24,8 @@ void DiskMetrics::merge(const DiskMetrics& other) {
   bytes_served += other.bytes_served;
   queued += other.queued;
   in_service += other.in_service;
+  destage_served += other.destage_served;
+  destage_pending += other.destage_pending;
   positionings += other.positionings;
   idle_periods.merge(other.idle_periods);
   response.merge(other.response);
@@ -59,7 +61,7 @@ void Disk::enter(PowerState next) {
 }
 
 void Disk::submit(std::uint64_t request_id, util::Bytes bytes,
-                  std::uint64_t lba, std::uint64_t blocks) {
+                  std::uint64_t lba, std::uint64_t blocks, bool background) {
   IoJob job;
   job.request_id = request_id;
   job.bytes = bytes;
@@ -67,6 +69,8 @@ void Disk::submit(std::uint64_t request_id, util::Bytes bytes,
   job.lba = lba;
   job.blocks = blocks != 0 ? blocks : util::blocks_of(bytes);
   job.seq = submit_seq_++;
+  job.background = background;
+  if (background) ++bg_in_scheduler_;
   scheduler_->push(job);
   if (trace_ != nullptr && trace_->wants(obs::Kind::kSpan)) {
     trace_->emit(obs::Kind::kSpan, obs::kSpanSubmit, sim_.now(), id_,
@@ -120,6 +124,14 @@ void Disk::start_service() {
   batch_pos_ = 0;
   scheduler_->pop_batch(head_lba_, batch_);
   assert(!batch_.empty());
+  if (bg_in_scheduler_ > 0) {
+    for (const IoJob& job : batch_) {
+      if (job.background) {
+        --bg_in_scheduler_;
+        ++bg_in_batch_;
+      }
+    }
+  }
   service_start_ = sim_.now();
   ++positionings_;
   if (trace_ != nullptr && trace_->wants(obs::Kind::kSpan)) {
@@ -150,15 +162,22 @@ void Disk::start_transfer() {
 
 void Disk::finish_transfer() {
   const IoJob& job = batch_[batch_pos_];
-  ++served_;
-  bytes_served_ += job.bytes;
+  if (job.background) {
+    ++destage_served_;
+    --bg_in_batch_;
+  } else {
+    ++served_;
+    bytes_served_ += job.bytes;
+  }
   head_lba_ = job.lba + job.blocks;
   if (trace_ != nullptr && trace_->wants(obs::Kind::kSpan)) {
     trace_->emit(obs::Kind::kSpan, obs::kSpanComplete, sim_.now(), id_,
                  job.request_id, sim_.now() - job.arrival,
                  service_start_ - job.arrival);
   }
-  policy_->observe_completion(sim_.now() - job.arrival);
+  // Background work carries no response-time signal: the policy learns
+  // from foreground traffic only.
+  if (!job.background) policy_->observe_completion(sim_.now() - job.arrival);
   if (on_complete_) {
     Completion c;
     c.request_id = job.request_id;
@@ -167,6 +186,7 @@ void Disk::finish_transfer() {
     c.service_start = service_start_;
     c.completion = sim_.now();
     c.bytes = job.bytes;
+    c.background = job.background;
     on_complete_(c);
   }
   ++batch_pos_;
@@ -282,8 +302,10 @@ DiskMetrics Disk::metrics(double now) const {
   m.spin_downs = spin_downs_;
   m.served = served_;
   m.bytes_served = bytes_served_;
-  m.queued = scheduler_->size();
-  m.in_service = batch_.size() - batch_pos_;
+  m.queued = scheduler_->size() - bg_in_scheduler_;
+  m.in_service = batch_.size() - batch_pos_ - bg_in_batch_;
+  m.destage_served = destage_served_;
+  m.destage_pending = bg_in_scheduler_ + bg_in_batch_;
   m.positionings = positionings_;
   m.idle_periods = idle_periods_;
   return m;

@@ -52,6 +52,9 @@ struct Completion {
   double service_start = 0.0; ///< the request's batch began positioning
   double completion = 0.0;
   util::Bytes bytes = 0;
+  /// Destage (orchestration background) job: the driver must not fold this
+  /// completion into the response statistics.
+  bool background = false;
 
   double response_time() const { return completion - arrival; }
   double wait_time() const { return service_start - arrival; }
@@ -74,6 +77,12 @@ struct DiskMetrics {
   std::uint64_t queued = 0;       ///< waiting in the scheduler at snapshot
   std::uint64_t in_service = 0;   ///< in the active batch (positioning or
                                   ///< transferring) at snapshot
+  /// Orchestration destage (background) jobs, kept out of the foreground
+  /// counters above so `submitted == served + in_service + queued` and the
+  /// run-level horizon identity hold over foreground requests alone.
+  std::uint64_t destage_served = 0;  ///< background jobs completed
+  std::uint64_t destage_pending = 0; ///< background queued or in the active
+                                     ///< batch at snapshot
   std::uint64_t positionings = 0; ///< positioning phases billed (a coalesced
                                   ///< batch counts one for several requests)
   /// Completed idle-period durations (full time from going idle to the next
@@ -135,9 +144,13 @@ public:
   /// file's extent in this disk's logical-block space (the dispatcher
   /// computes them from the catalog layout); `blocks` == 0 derives the
   /// extent length from `bytes`.  Completion is reported through the
-  /// callback (if set).
+  /// callback (if set).  `background` marks orchestration destage work: it
+  /// is serviced (and billed energy) like any job but stays out of the
+  /// foreground served/queued/in-service counters, the response statistics,
+  /// and the spin-down policy's completion signal.
   void submit(std::uint64_t request_id, util::Bytes bytes,
-              std::uint64_t lba = 0, std::uint64_t blocks = 0);
+              std::uint64_t lba = 0, std::uint64_t blocks = 0,
+              bool background = false);
 
   void set_completion_callback(CompletionCallback cb) {
     on_complete_ = std::move(cb);
@@ -215,6 +228,12 @@ private:
   std::uint64_t spin_ups_ = 0;
   std::uint64_t spin_downs_ = 0;
   std::uint64_t served_ = 0;
+  std::uint64_t destage_served_ = 0;
+  /// Background population split by location (scheduler vs active batch),
+  /// maintained so metrics() can report foreground queued/in_service
+  /// without scanning the queue.
+  std::uint64_t bg_in_scheduler_ = 0;
+  std::uint64_t bg_in_batch_ = 0;
   std::uint64_t positionings_ = 0;
   util::Bytes bytes_served_ = 0;
   std::vector<double> idle_gaps_;

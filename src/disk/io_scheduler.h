@@ -49,6 +49,10 @@ struct IoJob {
   std::uint64_t lba = 0;    ///< first block of the file's extent on this disk
   std::uint64_t blocks = 0; ///< extent length in util::kBlockBytes blocks
   std::uint64_t seq = 0;    ///< submission sequence; deterministic tie-break
+  /// Background work (orchestration destage): serviced like any job — it
+  /// occupies the head and burns energy — but excluded from the foreground
+  /// served/queued/in-service accounting and the response statistics.
+  bool background = false;
 };
 
 /// Service-discipline interface.  Single-threaded, driven by one Disk.

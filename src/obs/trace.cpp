@@ -61,6 +61,9 @@ std::string_view code_name(Kind k, std::uint8_t code) {
         case kPolicyStayIdle: return "stay_idle";
         case kPolicySpinDownNow: return "spin_down_now";
         case kPolicyThresholdFired: return "threshold_fired";
+        case kPolicyOffload: return "offload";
+        case kPolicyDestage: return "destage";
+        case kPolicyBudget: return "budget";
         default: break;
       }
       break;

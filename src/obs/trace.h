@@ -51,13 +51,27 @@ inline constexpr std::uint8_t kSpanTransfer = 3;  ///< transfer started
 inline constexpr std::uint8_t kSpanComplete = 4;  ///< completion delivered
 inline constexpr std::uint8_t kSpanCacheHit = 5;  ///< absorbed by the cache
 inline constexpr std::uint8_t kSpanCacheMiss = 6; ///< forwarded to a disk
-inline constexpr std::uint8_t kSpanRedirect = 7;  ///< reserved (routing)
+inline constexpr std::uint8_t kSpanRedirect = 7; ///< read routed to a
+                                                 ///< replica (value=chosen
+                                                 ///< disk, aux=primary)
 
-/// Policy decision codes (kind == kPolicy).
+/// Policy decision codes (kind == kPolicy).  Codes 0-3 are per-disk
+/// spin-down decisions on the disk's own track; 4-6 are fleet-orchestration
+/// decisions on the dispatcher track (src/orch/).
 inline constexpr std::uint8_t kPolicyTimerArmed = 0;  ///< finite timeout
 inline constexpr std::uint8_t kPolicyStayIdle = 1;    ///< nullopt: no timer
 inline constexpr std::uint8_t kPolicySpinDownNow = 2; ///< timeout <= 0
 inline constexpr std::uint8_t kPolicyThresholdFired = 3; ///< timer expired
+inline constexpr std::uint8_t kPolicyOffload = 4; ///< write absorbed by a log
+                                                  ///< disk (value=log disk,
+                                                  ///< aux=sleeping target)
+inline constexpr std::uint8_t kPolicyDestage = 5; ///< buffered writes flushed
+                                                  ///< to their home disk
+                                                  ///< (value=target disk,
+                                                  ///< aux=batch size)
+inline constexpr std::uint8_t kPolicyBudget = 6;  ///< sleep budget recomputed
+                                                  ///< (value=awake quota,
+                                                  ///< aux=arrival-rate est.)
 
 /// Metric gauge codes (kind == kMetric).
 inline constexpr std::uint8_t kMetricQueueDepth = 0; ///< value=queued,

@@ -1,0 +1,113 @@
+#include "orch/offload.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spindown::orch {
+
+WriteOffload::WriteOffload(std::uint32_t data_disks, std::uint32_t log_disks,
+                           util::Bytes log_capacity, double deadline_s,
+                           double horizon_s)
+    : placer_(log_disks, log_capacity, core::FitRule::kBestFit),
+      data_disks_(data_disks), log_disks_(log_disks),
+      deadline_s_(deadline_s), horizon_s_(horizon_s),
+      capacity_blocks_(std::max<std::uint64_t>(
+          1, log_capacity / util::kBlockBytes)),
+      by_disk_(data_disks), log_cursor_(log_disks, 0) {
+  if (data_disks == 0 || log_disks == 0) {
+    throw std::invalid_argument{
+        "WriteOffload: need at least one data disk and one log disk"};
+  }
+  if (!(deadline_s > 0.0)) {
+    throw std::invalid_argument{"WriteOffload: deadline must be positive"};
+  }
+}
+
+std::optional<WriteOffload::LogCopy> WriteOffload::absorb(
+    double t, std::uint64_t request_id, workload::FileId file,
+    util::Bytes bytes, std::uint64_t blocks, std::uint64_t target_lba,
+    std::uint32_t target) {
+  // Every log disk is always-on, so the spinning-aware placer degenerates
+  // to best-fit over free buffer space — exactly §1.1's write rule.
+  const std::vector<bool> spinning(log_disks_, true);
+  const auto local = placer_.place(bytes, spinning);
+  if (!local.has_value()) return std::nullopt;
+
+  PendingWrite p;
+  // The horizon cap keeps deadlines monotone (t is non-decreasing) *and*
+  // guarantees the tier drains inside the measurement window.
+  p.deadline = std::min(t + deadline_s_, horizon_s_);
+  p.target = target;
+  p.log_disk = data_disks_ + *local;
+  p.file = file;
+  p.request_id = request_id;
+  p.bytes = bytes;
+  p.target_lba = target_lba;
+  p.log_lba = log_cursor_[*local];
+  p.blocks = blocks;
+  log_cursor_[*local] = (log_cursor_[*local] + blocks) % capacity_blocks_;
+
+  const std::size_t index = pending_.size();
+  pending_.push_back(p);
+  done_.push_back(false);
+  by_disk_[target].push_back(index);
+  latest_[file] = index; // newer write shadows an older pending copy
+  ++buffered_;
+  return LogCopy{p.log_disk, p.log_lba};
+}
+
+std::optional<WriteOffload::LogCopy> WriteOffload::log_copy(
+    workload::FileId file) const {
+  const auto it = latest_.find(file);
+  if (it == latest_.end()) return std::nullopt;
+  const PendingWrite& p = pending_[it->second];
+  return LogCopy{p.log_disk, p.log_lba};
+}
+
+bool WriteOffload::has_pending(std::uint32_t target) const {
+  if (target >= by_disk_.size()) return false;
+  // Deadline drains scrub per-disk indices lazily, so the list may hold
+  // settled entries: pending means at least one *live* one.
+  for (const std::size_t index : by_disk_[target]) {
+    if (!done_[index]) return true;
+  }
+  return false;
+}
+
+void WriteOffload::settle(std::size_t index, std::vector<PendingWrite>& out) {
+  const PendingWrite& p = pending_[index];
+  placer_.release(p.log_disk - data_disks_, p.bytes);
+  const auto it = latest_.find(p.file);
+  if (it != latest_.end() && it->second == index) latest_.erase(it);
+  done_[index] = true;
+  ++destaged_;
+  out.push_back(p);
+}
+
+void WriteOffload::drain_disk(std::uint32_t target,
+                              std::vector<PendingWrite>& out) {
+  if (target >= by_disk_.size()) return;
+  for (const std::size_t index : by_disk_[target]) {
+    if (!done_[index]) settle(index, out);
+  }
+  by_disk_[target].clear();
+}
+
+void WriteOffload::drain_due(double t, std::vector<PendingWrite>& out) {
+  // Deadlines are non-decreasing in insertion order (monotone t, constant
+  // deadline_s, horizon cap), so "everything due" is a prefix.
+  while (head_ < pending_.size()) {
+    if (done_[head_]) {
+      ++head_;
+      continue;
+    }
+    const PendingWrite& p = pending_[head_];
+    if (p.deadline > t) break;
+    // Settle, then scrub the stale index from the per-disk list lazily:
+    // done_ entries are skipped by drain_disk.
+    settle(head_, out);
+    ++head_;
+  }
+}
+
+} // namespace spindown::orch

@@ -1,0 +1,112 @@
+// offload.h — write off-loading with deferred destage (fleet orchestration,
+// mechanism 2).
+//
+// A write aimed at a sleeping data disk would force a spin-up for a request
+// the client never waits on the placement of.  Instead, a small tier of
+// always-on *log disks* (appended after the data disks, spin policy
+// "never") absorbs the write: the foreground service happens on the log
+// disk, a PendingWrite records the debt, and the buffered bytes are
+// *destaged* to the home disk later as background I/O — either when the
+// home disk next serves a foreground request (it is spinning anyway) or
+// when the destage deadline expires, whichever comes first.  Until the
+// destage lands, reads of an off-loaded file are routed to the log copy, so
+// the freshest bytes are always the ones served.
+//
+// Placement on the log tier reuses core::WritePlacer (§1.1's spinning-aware
+// best-fit — the log disks are all "spinning", so this degenerates to plain
+// best-fit over free space), and destaging returns the bytes via
+// WritePlacer::release.  Log-disk LBAs are handed out by a per-disk
+// log-structured cursor that wraps at the disk's capacity.
+//
+// Determinism: deadlines are min(t + deadline_s, horizon), so with arrivals
+// fed in non-decreasing t the pending queue is created in non-decreasing
+// deadline order and drain_due() is a pop from the head — no ordering data
+// structure, no ties to break.  The horizon cap guarantees every pending
+// write destages inside the measurement window.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/write_policy.h"
+#include "util/units.h"
+#include "workload/catalog.h"
+
+namespace spindown::orch {
+
+/// One buffered write: the debt owed to data disk `target`.
+struct PendingWrite {
+  double deadline = 0.0;         ///< latest destage time (<= horizon)
+  std::uint32_t target = 0;      ///< home data disk
+  std::uint32_t log_disk = 0;    ///< global id of the absorbing log disk
+  workload::FileId file = 0;
+  std::uint64_t request_id = 0;  ///< the foreground write's id
+  util::Bytes bytes = 0;
+  std::uint64_t target_lba = 0;  ///< home extent (destage destination)
+  std::uint64_t log_lba = 0;     ///< log-cursor extent (reads until destage)
+  std::uint64_t blocks = 0;
+};
+
+class WriteOffload {
+public:
+  /// Log disks occupy global ids [data_disks, data_disks + log_disks);
+  /// each has `log_capacity` bytes of buffer space.  `horizon_s` caps every
+  /// deadline so the tier drains inside the measurement window.
+  WriteOffload(std::uint32_t data_disks, std::uint32_t log_disks,
+               util::Bytes log_capacity, double deadline_s, double horizon_s);
+
+  struct LogCopy {
+    std::uint32_t log_disk = 0; ///< global disk id
+    std::uint64_t log_lba = 0;
+  };
+
+  /// Buffer a write aimed at sleeping data disk `target`.  Returns the log
+  /// placement, or nullopt when no log disk has room (the caller then
+  /// writes through to the home disk).
+  std::optional<LogCopy> absorb(double t, std::uint64_t request_id,
+                                workload::FileId file, util::Bytes bytes,
+                                std::uint64_t blocks,
+                                std::uint64_t target_lba,
+                                std::uint32_t target);
+
+  /// Freshest buffered copy of `file`, if one is still pending.
+  std::optional<LogCopy> log_copy(workload::FileId file) const;
+
+  bool has_pending(std::uint32_t target) const;
+
+  /// Move every live pending write owed to `target` into `out` (in
+  /// buffering order) and settle the debt (release log space, forget the
+  /// log copies).
+  void drain_disk(std::uint32_t target, std::vector<PendingWrite>& out);
+
+  /// As drain_disk, but for every pending write whose deadline is <= `t`,
+  /// fleet-wide, in deadline order.
+  void drain_due(double t, std::vector<PendingWrite>& out);
+
+  std::uint64_t buffered() const { return buffered_; }
+  std::uint64_t destaged() const { return destaged_; }
+  std::uint64_t live() const { return buffered_ - destaged_; }
+
+private:
+  void settle(std::size_t index, std::vector<PendingWrite>& out);
+
+  core::WritePlacer placer_; ///< indexed by log disk *local* id
+  std::uint32_t data_disks_;
+  std::uint32_t log_disks_;
+  double deadline_s_;
+  double horizon_s_;
+  std::uint64_t capacity_blocks_;
+
+  std::vector<PendingWrite> pending_; ///< append-only; head_ = oldest live
+  std::vector<bool> done_;            ///< parallel to pending_
+  std::size_t head_ = 0;
+  std::vector<std::vector<std::size_t>> by_disk_;   ///< live, per data disk
+  std::unordered_map<workload::FileId, std::size_t> latest_; ///< file -> idx
+  std::vector<std::uint64_t> log_cursor_; ///< per log disk, blocks
+  std::uint64_t buffered_ = 0;
+  std::uint64_t destaged_ = 0;
+};
+
+} // namespace spindown::orch

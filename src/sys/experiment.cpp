@@ -89,6 +89,106 @@ ObsSpec ObsSpec::parse(const std::string& name) {
   return o;
 }
 
+std::string OrchSpec::spec() const {
+  if (!enabled()) return "off";
+  std::string out;
+  const auto add = [&out](const std::string& token) {
+    if (!out.empty()) out += "+";
+    out += token;
+  };
+  if (redirect) add("redirect");
+  if (offload) {
+    std::string token = "offload";
+    // Knobs render outside-in: the deadline cannot appear without the
+    // log-disk count, so an off-default deadline forces both.
+    if (log_disks != 1 || destage_deadline_s != 600.0) {
+      token += ":";
+      token += std::to_string(log_disks);
+      if (destage_deadline_s != 600.0) {
+        token += ":";
+        token += util::format_roundtrip(destage_deadline_s);
+      }
+    }
+    add(token);
+    if (write_fraction != 0.2) {
+      std::string writes = "writes:";
+      writes += util::format_roundtrip(write_fraction);
+      add(writes);
+    }
+  }
+  if (budget) {
+    std::string token = "budget";
+    if (slo_p99_s != 5.0) {
+      token += ":p99:";
+      token += util::format_roundtrip(slo_p99_s);
+    }
+    add(token);
+  }
+  return out;
+}
+
+OrchSpec OrchSpec::parse(const std::string& name) {
+  if (name == "off") return off();
+  OrchSpec o;
+  for (const auto& token : split(name, '+')) {
+    if (token == "redirect") {
+      o.redirect = true;
+    } else if (token == "offload") {
+      o.offload = true;
+    } else if (token.rfind("offload:", 0) == 0) {
+      o.offload = true;
+      const auto knobs = split(token.substr(8), ':');
+      if (knobs.empty() || knobs.size() > 2) {
+        throw std::invalid_argument{
+            "OrchSpec: want offload[:log_disks[:deadline_s]] in '" + name +
+            "'"};
+      }
+      const double disks = detail::parse_number(knobs[0], name, "OrchSpec");
+      if (disks < 1.0 || disks > 64.0 ||
+          disks != static_cast<double>(static_cast<std::uint32_t>(disks))) {
+        throw std::invalid_argument{
+            "OrchSpec: log_disks must be an integer in [1, 64] in '" + name +
+            "'"};
+      }
+      o.log_disks = static_cast<std::uint32_t>(disks);
+      if (knobs.size() == 2) {
+        const double dl = detail::parse_number(knobs[1], name, "OrchSpec");
+        if (dl <= 0.0) {
+          throw std::invalid_argument{
+              "OrchSpec: destage deadline must be positive in '" + name +
+              "'"};
+        }
+        o.destage_deadline_s = dl;
+      }
+    } else if (token.rfind("writes:", 0) == 0) {
+      const double frac = detail::parse_number(token.substr(7), name,
+                                               "OrchSpec");
+      if (!(frac >= 0.0 && frac <= 1.0)) {
+        throw std::invalid_argument{
+            "OrchSpec: write fraction must be in [0, 1] in '" + name + "'"};
+      }
+      o.write_fraction = frac;
+    } else if (token == "budget") {
+      o.budget = true;
+    } else if (token.rfind("budget:p99:", 0) == 0) {
+      o.budget = true;
+      const double slo = detail::parse_number(token.substr(11), name,
+                                              "OrchSpec");
+      if (slo <= 0.0) {
+        throw std::invalid_argument{
+            "OrchSpec: budget SLO must be positive in '" + name + "'"};
+      }
+      o.slo_p99_s = slo;
+    } else {
+      throw std::invalid_argument{
+          "OrchSpec: unknown mechanism '" + token + "' in '" + name +
+          "' (want off or '+'-joined redirect|offload[:L[:deadline]]|"
+          "budget:p99:<slo>|writes:<frac>)"};
+    }
+  }
+  return o;
+}
+
 std::unique_ptr<cache::FileCache> CacheSpec::make() const {
   switch (kind) {
     case Kind::kNone: return nullptr;
@@ -337,10 +437,19 @@ RunResult run_experiment(const ExperimentConfig& config, obs::RunTrace* trace,
   const std::uint32_t shards =
       effective_shards(config.shards, config.num_disks);
   // Whole-episode measurement (horizon <= 0) needs the single global
-  // calendar; every built-in workload has a positive horizon.
-  if (shards > 1 && config.workload.measurement_horizon() > 0.0) {
+  // calendar; every built-in workload has a positive horizon.  Fleet
+  // orchestration lives in the router, so an orchestrated run takes the
+  // fleet path even at shards == 1 — one implementation defines its
+  // semantics, and shard bit-identity follows for free.
+  if ((shards > 1 || config.orch.enabled()) &&
+      config.workload.measurement_horizon() > 0.0) {
     return run_fleet(config, shards, classify_fleet_path(config), perf,
                      trace);
+  }
+  if (config.orch.enabled()) {
+    throw std::invalid_argument{
+        "ExperimentConfig: orchestration requires a workload with a "
+        "positive measurement horizon"};
   }
 
   const auto cache = config.cache.make();

@@ -198,6 +198,62 @@ struct ObsSpec {
   friend bool operator==(const ObsSpec&, const ObsSpec&) = default;
 };
 
+/// Fleet power-orchestration selection (src/orch/): coordinated spin-state
+/// management *across* disks, layered over the per-disk policies.  Three
+/// mechanisms compose behind one orch::FleetController:
+///
+///   * redirect — replica-aware read redirection: with `replicas=k` on the
+///     scenario, each read is routed to whichever replica the controller
+///     predicts is spun up (deterministic tie-break by disk id), so cold
+///     replicas can stay asleep;
+///   * offload — write off-loading with deferred destage: a small tier of
+///     always-on log disks absorbs writes aimed at sleeping data disks
+///     (core::WritePlacer, spinning-aware best-fit) and destages them in a
+///     batch when the target next serves a foreground read or when the
+///     destage deadline expires;
+///   * budget — a global SLO sleep budget: the controller tracks the
+///     fleet-wide arrival-rate estimate and a streaming p99 of predicted
+///     response, and caps how many disks may sleep using the M/M/1 closed
+///     form m* = ceil(lambda / (mu - ln(100)/SLO)) (Liu et al.).
+///
+/// Orchestration is a deterministic function of the routed arrival stream,
+/// so every result stays bit-identical at any shard count; enabling it
+/// forces the fleet router path (like caches do via dynamic_routing).
+struct OrchSpec {
+  bool redirect = false; ///< replica-aware read redirection
+  bool offload = false;  ///< write off-loading onto log disks
+  bool budget = false;   ///< global SLO sleep budget
+  /// kOffload: size of the always-on log-disk tier appended after the data
+  /// disks, and the latest a buffered write may wait before being destaged
+  /// to its home disk.
+  std::uint32_t log_disks = 1;
+  double destage_deadline_s = 600.0;
+  /// Fraction of requests classified as writes (deterministic hash of the
+  /// request id, so arrival streams are unchanged).  Only meaningful with
+  /// offload; reads ignore it.
+  double write_fraction = 0.2;
+  /// kBudget: fleet-wide p99 response SLO (seconds).
+  double slo_p99_s = 5.0;
+
+  bool enabled() const { return redirect || offload || budget; }
+
+  static OrchSpec off() { return {}; }
+
+  /// Parse a CLI/report key; accepts everything spec() emits.  Grammar:
+  /// "off", or '+'-joined mechanisms from {redirect,
+  /// offload[:log_disks[:deadline_s]], budget:p99:<slo_s>,
+  /// writes:<fraction>} in any order ("budget" alone takes the default
+  /// SLO).  Throws std::invalid_argument on anything else.
+  static OrchSpec parse(const std::string& name);
+  /// Canonical parseable key — "off", "redirect",
+  /// "redirect+offload:1+budget:p99:0.05", ... (mechanisms in declaration
+  /// order, knobs attached only when they differ from the defaults) — such
+  /// that parse(spec()) round-trips the value.
+  std::string spec() const;
+
+  friend bool operator==(const OrchSpec&, const OrchSpec&) = default;
+};
+
 struct ExperimentConfig {
   std::string label;
   const workload::FileCatalog* catalog = nullptr; ///< not owned
@@ -222,10 +278,20 @@ struct ExperimentConfig {
   std::uint32_t shards = 1;
   /// Set by scenario resolution when the placement does NOT reduce to the
   /// static `mapping` vector above (PlacementSpec::static_mapping false —
-  /// no built-in placement today; reserved for replica-aware redirection
-  /// and similar).  Forces sharded runs onto the router path even with
-  /// cache=none, because routing then depends on global arrival order.
+  /// i.e. `replicas=k` with k > 1, where the replica a read lands on is
+  /// chosen per request at arrival time).  Forces runs onto the router
+  /// path even with cache=none, because routing then depends on global
+  /// arrival order.
   bool dynamic_routing = false;
+  /// k-way replication degree from the placement (`replicas=` scenario
+  /// key).  Replica r of file f lives at (mapping[f] + r * stride) % D
+  /// with stride = max(1, D / k) over the D data disks; `mapping` above
+  /// stores replica 0 (the primary).  1 = no replication.
+  std::uint32_t replicas = 1;
+  /// Fleet orchestration (`orch=` scenario key).  When enabled() the run
+  /// takes the fleet router path at any shard count and num_disks includes
+  /// orch.log_disks always-on log disks appended after the data disks.
+  OrchSpec orch;
   /// Which trace-event families to record when the run is handed a
   /// RunTrace sink.  Ignored (zero-cost) without one.
   ObsSpec obs;

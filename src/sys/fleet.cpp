@@ -13,6 +13,7 @@
 #include "obs/profile.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
+#include "orch/controller.h"
 #include "stats/summary.h"
 #include "stats/welford.h"
 #include "util/rng.h"
@@ -50,6 +51,7 @@ struct ShardBatch {
   std::vector<std::uint64_t> lba;
   std::vector<std::uint64_t> blocks;
   std::vector<std::uint32_t> local_disk;
+  std::vector<std::uint8_t> background; ///< orchestration destage I/O
   /// The routed frontier: the worker may advance its clock here after
   /// replaying the batch (the router has routed every arrival below it).
   double advance_to = 0.0;
@@ -57,13 +59,14 @@ struct ShardBatch {
 
   std::size_t size() const { return time.size(); }
   void push(double t, std::uint64_t id, util::Bytes b, std::uint64_t l,
-            std::uint64_t nblocks, std::uint32_t disk) {
+            std::uint64_t nblocks, std::uint32_t disk, bool bg = false) {
     time.push_back(t);
     request_id.push_back(id);
     bytes.push_back(b);
     lba.push_back(l);
     blocks.push_back(nblocks);
     local_disk.push_back(disk);
+    background.push_back(bg ? 1 : 0);
   }
   void reset() {
     time.clear();
@@ -72,6 +75,7 @@ struct ShardBatch {
     lba.clear();
     blocks.clear();
     local_disk.clear();
+    background.clear();
     advance_to = 0.0;
     final = false;
   }
@@ -108,6 +112,7 @@ public:
       if (trace_ != nullptr) disks_.back()->set_trace(trace_.get());
       disks_.back()->set_completion_callback(
           [&resp = responses_[l], this](const disk::Completion& c) {
+            if (c.background) return; // destage I/O: not a client response
             resp.add(c.response_time());
             hist_.add(c.response_time());
           });
@@ -137,8 +142,9 @@ public:
   }
 
   void submit(std::uint32_t local_disk, std::uint64_t request_id,
-              util::Bytes bytes, std::uint64_t lba, std::uint64_t blocks) {
-    disks_[local_disk]->submit(request_id, bytes, lba, blocks);
+              util::Bytes bytes, std::uint64_t lba, std::uint64_t blocks,
+              bool background = false) {
+    disks_[local_disk]->submit(request_id, bytes, lba, blocks, background);
     ++submissions_;
   }
 
@@ -192,6 +198,9 @@ struct FleetSetup {
   std::vector<std::vector<util::Rng>> rngs;              ///< per shard
   std::vector<std::vector<const PolicySpec*>> policies;  ///< per shard
   std::vector<workload::FileExtent> extents;
+  /// The orchestration log tier never sleeps — it absorbs writes precisely
+  /// because it is always on (policies[] points here for log disks).
+  PolicySpec log_policy = PolicySpec::never();
 
   FleetSetup(const ExperimentConfig& config, std::uint32_t shards_in)
       : shards(shards_in), disk_ids(shards_in), rngs(shards_in),
@@ -205,6 +214,10 @@ struct FleetSetup {
       const PolicySpec* policy = &config.policy;
       for (const auto& [disk_id, override_policy] : config.policy_overrides) {
         if (disk_id == d) policy = &override_policy; // last override wins
+      }
+      if (config.orch.offload &&
+          d >= config.num_disks - config.orch.log_disks) {
+        policy = &log_policy;
       }
       policies[w].push_back(policy);
     }
@@ -503,7 +516,8 @@ private:
       for (std::size_t i = 0; i < batch->size(); ++i) {
         sim->advance(batch->time[i]);
         sim->submit(batch->local_disk[i], batch->request_id[i],
-                    batch->bytes[i], batch->lba[i], batch->blocks[i]);
+                    batch->bytes[i], batch->lba[i], batch->blocks[i],
+                    batch->background[i] != 0);
       }
       const bool final = batch->final;
       if (!final && batch->advance_to > sim->now()) {
@@ -522,6 +536,50 @@ private:
     busy_s = seconds_since(t0) - wait_s;
   }
 };
+
+/// The controller's guess at how long a disk idles before its spin-down
+/// policy puts it to sleep: exact for fixed-threshold and never policies,
+/// the break-even threshold (the adaptive policies' anchor point) otherwise.
+/// Only a prediction heuristic — routing quality, never correctness,
+/// depends on it.
+double sleep_after_estimate(const ExperimentConfig& config) {
+  switch (config.policy.kind) {
+    case PolicySpec::Kind::kNever:
+      return std::numeric_limits<double>::infinity();
+    case PolicySpec::Kind::kFixed:
+      return config.policy.fixed_threshold_s;
+    default:
+      return config.params.break_even_threshold();
+  }
+}
+
+/// Build the orchestration controller for a routed run, or null when the
+/// scenario has orchestration off.
+std::unique_ptr<orch::FleetController> make_controller(
+    const ExperimentConfig& config, const FleetSetup& setup,
+    obs::TraceBuffer* trace) {
+  if (!config.orch.enabled()) return nullptr;
+  orch::Config ocfg;
+  ocfg.redirect = config.orch.redirect;
+  ocfg.offload = config.orch.offload;
+  ocfg.budget = config.orch.budget;
+  ocfg.log_disks = config.orch.offload ? config.orch.log_disks : 0;
+  ocfg.data_disks = config.num_disks - ocfg.log_disks;
+  ocfg.replicas = config.replicas;
+  ocfg.destage_deadline_s = config.orch.destage_deadline_s;
+  ocfg.write_fraction = config.orch.write_fraction;
+  ocfg.slo_p99_s = config.orch.slo_p99_s;
+  ocfg.horizon_s = setup.horizon;
+  ocfg.disk_capacity = config.params.capacity;
+  ocfg.mean_request_bytes = config.catalog->mean_request_bytes();
+  orch::ServiceModel model;
+  model.position_s = config.params.position_time();
+  model.transfer_bps = config.params.transfer_bps;
+  model.spinup_s = config.params.spinup_s;
+  model.sleep_after_s = sleep_after_estimate(config);
+  return std::make_unique<orch::FleetController>(ocfg, model, config.mapping,
+                                                 setup.extents, trace);
+}
 
 std::vector<RunResult> run_routed(const ExperimentConfig& config,
                                   const FleetSetup& setup, FleetPerf* perf,
@@ -557,6 +615,11 @@ std::vector<RunResult> run_routed(const ExperimentConfig& config,
   obs::TraceBuffer router_trace{sim_mask};
   const bool span_trace =
       cache != nullptr && router_trace.wants(obs::Kind::kSpan);
+  // Orchestration: the controller rewrites the post-cache arrival stream in
+  // global arrival order — a deterministic, shard-count-invariant function
+  // — emitting its decisions onto the dispatcher track.
+  const auto controller = make_controller(config, setup, &router_trace);
+  std::vector<orch::Submission> subs;
   std::vector<obs::TraceEvent> router_prof; ///< kProfRouterFill per window
   std::uint64_t window_idx = 0;
 
@@ -648,9 +711,37 @@ std::vector<RunResult> run_routed(const ExperimentConfig& config,
                               block.arrival[i], obs::kDispatcherTrack,
                               block.id[i], disk);
           }
+          if (controller != nullptr) {
+            // Deadline destages due before this arrival ship first (each
+            // at its own deadline time), then the arrival's rewritten
+            // submissions — so per-shard batch times stay non-decreasing.
+            subs.clear();
+            controller->flush_deadlines(block.arrival[i], subs);
+            controller->route(block.arrival[i], block.id[i], file, subs);
+            for (const auto& sub : subs) {
+              current[sub.disk % shards]->push(sub.t, sub.request_id,
+                                               sub.bytes, sub.lba,
+                                               sub.blocks, sub.disk / shards,
+                                               sub.background);
+            }
+            continue;
+          }
           current[disk % shards]->push(block.arrival[i], block.id[i],
                                        file.size, lba, extent.blocks,
                                        disk / shards);
+        }
+        if (controller != nullptr) {
+          // Destages due inside this window but after its last arrival:
+          // flushed at the frontier so the next window's arrivals (all
+          // >= frontier) still land after them.
+          subs.clear();
+          controller->flush_deadlines(frontier, subs);
+          for (const auto& sub : subs) {
+            current[sub.disk % shards]->push(sub.t, sub.request_id,
+                                             sub.bytes, sub.lba, sub.blocks,
+                                             sub.disk / shards,
+                                             sub.background);
+          }
         }
         for (std::uint32_t w = 0; w < shards; ++w) {
           current[w]->advance_to = frontier;
@@ -664,6 +755,27 @@ std::vector<RunResult> run_routed(const ExperimentConfig& config,
               obs::kProfRouterFill});
         }
         ++window_idx;
+      }
+      if (controller != nullptr) {
+        // Every remaining buffered write has a deadline <= horizon (the
+        // absorb-time cap), so one flush at the horizon drains the log
+        // tier inside the measurement window.
+        subs.clear();
+        controller->flush_deadlines(horizon, subs);
+        if (!subs.empty()) {
+          for (std::uint32_t w = 0; w < shards; ++w) current[w] = acquire(w);
+          for (const auto& sub : subs) {
+            current[sub.disk % shards]->push(sub.t, sub.request_id,
+                                             sub.bytes, sub.lba, sub.blocks,
+                                             sub.disk / shards,
+                                             sub.background);
+          }
+          for (std::uint32_t w = 0; w < shards; ++w) {
+            current[w]->advance_to = horizon;
+            publish(w, current[w]);
+            current[w] = nullptr;
+          }
+        }
       }
       for (std::uint32_t w = 0; w < shards; ++w) {
         ShardBatch* last = acquire(w);
@@ -749,7 +861,8 @@ std::vector<RunResult> run_routed(const ExperimentConfig& config,
 } // namespace
 
 FleetPath classify_fleet_path(const ExperimentConfig& config) {
-  return config.cache.shard_decomposable() && !config.dynamic_routing
+  return config.cache.shard_decomposable() && !config.dynamic_routing &&
+                 !config.orch.enabled()
              ? FleetPath::kShardLocal
              : FleetPath::kRouted;
 }

@@ -361,11 +361,20 @@ void apply_key(ScenarioSpec& s, const std::string& key,
     }
   } else if (key == "obs") {
     s.obs = ObsSpec::parse(value);
+  } else if (key == "replicas") {
+    const auto k = parse_unsigned(value, "replicas=" + value);
+    if (k < 1 || k > 16) {
+      throw std::invalid_argument{
+          "ScenarioSpec: replicas must be in [1, 16], got '" + value + "'"};
+    }
+    s.placement.replicas = static_cast<std::uint32_t>(k);
+  } else if (key == "orch") {
+    s.orch = OrchSpec::parse(value);
   } else {
     throw std::invalid_argument{
         "ScenarioSpec: unknown key '" + key +
-        "' (want label|catalog|placement|load|disks|policy|sched|cache|"
-        "workload|seed|shards|obs)"};
+        "' (want label|catalog|placement|replicas|load|disks|policy|sched|"
+        "cache|workload|seed|shards|obs|orch)"};
   }
 }
 
@@ -398,6 +407,12 @@ std::string ScenarioSpec::spec() const {
   }
   out += "catalog=" + catalog.spec();
   out += " placement=" + placement.spec();
+  // Result-determining (redirection routes over the replica sets), but 1 —
+  // no replication — is the overwhelmingly common case, so the key appears
+  // only off-default and pre-orchestration canonical strings are unchanged.
+  if (placement.replicas != 1) {
+    out += " replicas=" + std::to_string(placement.replicas);
+  }
   out += " load=" + util::format_roundtrip(load_fraction);
   out += " disks=" + std::to_string(disks);
   out += " policy=" + policy.spec();
@@ -415,6 +430,9 @@ std::string ScenarioSpec::spec() const {
   // Same convention as shards: observability never changes results, so the
   // key appears only when something is enabled.
   if (obs.enabled()) out += " obs=" + obs.spec();
+  // Orchestration IS result-determining, but "off" is the default and the
+  // only value every pre-orchestration scenario carries.
+  if (orch.enabled()) out += " orch=" + orch.spec();
   return out;
 }
 
@@ -640,9 +658,15 @@ ResolvedScenario ScenarioCache::resolve(const ScenarioSpec& spec) {
   cfg.seed = spec.seed;
   cfg.shards = spec.shards;
   cfg.obs = spec.obs;
-  // Every built-in placement resolved to the static mapping vector above;
-  // a dynamic placement would instead flag the fleet router here.
+  // The base placement resolved to the static mapping vector above (replica
+  // 0); k > 1 makes routing per-request — replica-aware redirection picks a
+  // copy at arrival time — so the run must take the fleet router.
   cfg.dynamic_routing = !spec.placement.static_mapping();
+  cfg.replicas = spec.placement.replicas;
+  cfg.orch = spec.orch;
+  // The off-load tier appends its always-on log disks after the data
+  // disks; they hold no catalog files, only deferred writes in flight.
+  if (spec.orch.offload) cfg.num_disks += spec.orch.log_disks;
   out.config = std::move(cfg);
   return out;
 }

@@ -88,6 +88,13 @@ struct PlacementSpec {
   std::uint32_t cache_disks = 4;  ///< kMaid: always-on cache disks
   double hot_load_share = 0.8;    ///< kSea: load carried by the hot zone
   std::uint32_t size_classes = 2; ///< kSegregated: size classes
+  /// k-way replication over the base placement (`replicas=` scenario key,
+  /// orthogonal to the placement kind): replica r of file f lives at
+  /// (mapping[f] + r * stride) % D, stride = max(1, D / k).  With
+  /// orchestration redirect enabled, reads route to whichever replica is
+  /// predicted spun up; without it replica 0 (the base mapping) serves
+  /// every request and results match replicas=1 exactly.
+  std::uint32_t replicas = 1;
 
   static PlacementSpec pack() { return {}; }
   static PlacementSpec grouped(std::uint32_t v) {
@@ -127,20 +134,22 @@ struct PlacementSpec {
 
   /// Parse a placement key — "pack", "grouped:4", "random", "maid:4",
   /// "sea:0.8", "seg:2", "ffd" (bare "grouped"/"maid"/"sea"/"seg" take the
-  /// defaults above).  Throws std::invalid_argument on anything else.
+  /// defaults above).  `replicas` is not part of this key; it has its own
+  /// top-level `replicas=` scenario key.  Throws std::invalid_argument on
+  /// anything else.
   static PlacementSpec parse(const std::string& name);
   /// Canonical parseable key such that parse(spec()) round-trips.
   std::string spec() const;
 
   /// True when resolution reduces this placement to a fixed file→disk map
-  /// (ExperimentConfig::mapping) that never changes during the run.  Every
-  /// built-in placement qualifies — they all decide disk assignment from
-  /// the catalog alone, before the first arrival — which is half of what
-  /// lets sharded runs take the routerless fast path (sys/fleet.h).  A
-  /// future placement that redirects per request at arrival time (e.g.
-  /// replica-aware routing to whichever copy is spun up) must return
-  /// false here so fleet runs fall back to the router.
-  bool static_mapping() const { return true; }
+  /// (ExperimentConfig::mapping) that never changes during the run.  The
+  /// base placements all qualify — they decide disk assignment from the
+  /// catalog alone, before the first arrival — which is half of what lets
+  /// sharded runs take the routerless fast path (sys/fleet.h).  With
+  /// `replicas` > 1 the map is per request: replica-aware redirection
+  /// routes each read to whichever copy is spun up, so routing depends on
+  /// global arrival order and fleet runs fall back to the router.
+  bool static_mapping() const { return replicas <= 1; }
 };
 
 /// The complete experiment as a value.  Everything run_experiment needs is
@@ -182,11 +191,18 @@ struct ScenarioSpec {
   /// bit-identical at any shard count and the RunResult matches the
   /// untraced run — so spec() omits the key at its default ("off").
   ObsSpec obs;
+  /// `orch=<spec>`: fleet power orchestration (OrchSpec grammar: "off" or
+  /// '+'-joined redirect|offload[:L[:deadline]]|budget:p99:<slo>|
+  /// writes:<frac>).  Enabling any mechanism forces the fleet router path;
+  /// results stay bit-identical at any shard count.  spec() omits the key
+  /// at its default ("off").
+  OrchSpec orch;
 
   /// Parse a whitespace-separated `key=value` list.  Keys: label, catalog,
-  /// placement, load, disks, policy, sched (alias scheduler), cache,
-  /// workload, seed, shards, obs; missing keys keep their defaults, unknown
-  /// keys throw std::invalid_argument, later duplicates win.
+  /// placement, replicas, load, disks, policy, sched (alias scheduler),
+  /// cache, workload, seed, shards, obs, orch; missing keys keep their
+  /// defaults, unknown keys throw std::invalid_argument, later duplicates
+  /// win.
   static ScenarioSpec parse(const std::string& text);
   /// Canonical fully-explicit key=value string such that
   /// parse(spec()) == *this.

@@ -1,0 +1,127 @@
+// budget_test.cpp — the global SLO sleep budget against Liu et al.'s
+// closed form.
+//
+// liu_min_awake must equal the brute-force answer: the smallest awake-disk
+// count m for which the M/M/1 p99 response -ln(0.01) / (mu - lambda/m)
+// exists (mu > lambda/m) and sits inside the SLO.  The live SleepBudget is
+// then checked to start conservative (everything awake) and converge onto
+// that closed form, one +/-1 feedback step per epoch.
+#include "orch/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+namespace spindown::orch {
+namespace {
+
+/// Brute-force reference: smallest m in [1, disks] holding the SLO, or
+/// nullopt when even m = disks misses it.
+std::optional<std::uint32_t> brute_force_min_awake(double lambda, double mu,
+                                                   double slo_s,
+                                                   std::uint32_t disks) {
+  for (std::uint32_t m = 1; m <= disks; ++m) {
+    const double per_disk = lambda / static_cast<double>(m);
+    if (per_disk >= mu) continue; // unstable queue: infinite tail
+    const double p99 = std::log(100.0) / (mu - per_disk);
+    if (p99 <= slo_s) return m;
+  }
+  return std::nullopt;
+}
+
+TEST(OrchBudget, LiuClosedFormMatchesBruteForce) {
+  const double mus[] = {0.5, 2.0, 8.0, 50.0};
+  const double lambdas[] = {0.1, 1.0, 7.5, 40.0, 160.0};
+  const double slos[] = {0.1, 1.0, 5.0, 60.0};
+  const std::uint32_t fleets[] = {1, 3, 5, 16, 100};
+  for (const double mu : mus) {
+    for (const double lambda : lambdas) {
+      for (const double slo : slos) {
+        for (const std::uint32_t disks : fleets) {
+          SCOPED_TRACE("mu=" + std::to_string(mu) +
+                       " lambda=" + std::to_string(lambda) +
+                       " slo=" + std::to_string(slo) +
+                       " disks=" + std::to_string(disks));
+          const auto reference =
+              brute_force_min_awake(lambda, mu, slo, disks);
+          const std::uint32_t got = liu_min_awake(lambda, mu, slo, disks);
+          if (reference.has_value()) {
+            EXPECT_EQ(got, *reference);
+          } else {
+            // Infeasible SLO: the budget keeps the whole fleet awake (the
+            // conservative answer) rather than pretending a quota helps.
+            EXPECT_EQ(got, disks);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(OrchBudget, ClosedFormEdgeCases) {
+  // mu <= ln(100)/slo: even an idle disk misses the SLO -> all awake.
+  EXPECT_EQ(liu_min_awake(1.0, 0.9, 5.0, 8u), 8u);
+  // Zero arrival rate (no estimate yet) keeps one disk up, never zero.
+  EXPECT_EQ(liu_min_awake(0.0, 10.0, 5.0, 8u), 1u);
+  // Saturating load clamps at the fleet size.
+  EXPECT_EQ(liu_min_awake(1e9, 10.0, 5.0, 8u), 8u);
+}
+
+TEST(OrchBudget, QuotaStartsFullAndDecaysTowardClosedForm) {
+  // mu = 10/s, lambda = 4/s, slo = 5 s: m* = ceil(4 / (10 - 0.921)) = 1.
+  const std::uint32_t disks = 6;
+  SleepBudget budget{disks, /*mu=*/10.0, /*slo_s=*/5.0};
+  EXPECT_EQ(budget.quota(), disks);
+
+  double t = 0.0;
+  const std::uint32_t target = liu_min_awake(4.0, 10.0, 5.0, disks);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    for (int i = 0; i < 240; ++i) { // 4/s over a 60 s epoch
+      t += 0.25;
+      budget.observe_arrival(t);
+      budget.observe_response(0.11); // comfortably inside the SLO
+      budget.maybe_recompute(t);
+    }
+  }
+  EXPECT_EQ(budget.quota(), target);
+  EXPECT_NEAR(budget.arrival_rate(), 4.0, 0.5);
+}
+
+TEST(OrchBudget, MeasuredTailOverSloGrowsQuota) {
+  const std::uint32_t disks = 4;
+  SleepBudget budget{disks, /*mu=*/10.0, /*slo_s=*/1.0};
+  // Drive the p99 estimate far above the SLO, then cross one epoch.
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    t += 0.1;
+    budget.observe_arrival(t);
+    budget.observe_response(30.0);
+  }
+  EXPECT_GT(budget.p99_estimate(), 1.0);
+  // Quota is already at the ceiling, so it must stay there — never shrink
+  // while the measured tail violates the SLO.
+  budget.maybe_recompute(61.0);
+  EXPECT_EQ(budget.quota(), disks);
+}
+
+TEST(OrchBudget, IdleEpochsStepOnePerEpoch) {
+  // Crossing several epoch boundaries at once applies one feedback step
+  // per epoch — a long lull walks the quota down gradually, exactly as if
+  // the epochs had been observed live.
+  const std::uint32_t disks = 8;
+  SleepBudget budget{disks, /*mu=*/10.0, /*slo_s=*/5.0};
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    t += 0.5;
+    budget.observe_arrival(t);
+    budget.observe_response(0.11);
+  }
+  const auto quota = budget.maybe_recompute(3.0 * 60.0 + 1.0); // 3 epochs
+  ASSERT_TRUE(quota.has_value());
+  EXPECT_EQ(budget.epochs(), 3u);
+  EXPECT_EQ(*quota, disks - 3u);
+}
+
+} // namespace
+} // namespace spindown::orch

@@ -129,6 +129,26 @@ public:
     return o;
   }
 
+  OrchSpec orch() {
+    OrchSpec o;
+    // Half the draws stay off (the default, omitted from the canonical
+    // string); the rest toggle each mechanism independently.  Knobs are
+    // drawn only for enabled mechanisms — the grammar attaches them to
+    // their mechanism token, so a disabled mechanism's knob cannot be
+    // expressed (and must stay at its default to round-trip).
+    if (coin()) return o;
+    o.redirect = coin();
+    o.offload = coin();
+    o.budget = coin();
+    if (o.offload) {
+      if (coin()) o.log_disks = static_cast<std::uint32_t>(integer(1, 64));
+      if (coin()) o.destage_deadline_s = real(0.001, 1e5);
+      if (coin()) o.write_fraction = real(0.0, 1.0);
+    }
+    if (o.budget && coin()) o.slo_p99_s = real(0.001, 600.0);
+    return o;
+  }
+
   PlacementSpec placement() {
     switch (integer(0, 6)) {
       case 0: return PlacementSpec::pack();
@@ -167,6 +187,11 @@ public:
       default: s.shards = 1; break;
     }
     s.obs = obs();
+    // Replication degree (own top-level `replicas=` key, default omitted).
+    if (coin()) {
+      s.placement.replicas = static_cast<std::uint32_t>(integer(2, 16));
+    }
+    s.orch = orch();
     return s;
   }
 
@@ -251,6 +276,20 @@ TEST(SpecRoundTripFuzz, ObsSpecIdentity) {
   // The aliases parse too, and "off" is the canonical empty rendering.
   EXPECT_EQ(ObsSpec::parse("all"), ObsSpec::all());
   EXPECT_EQ(ObsSpec::off().spec(), "off");
+}
+
+TEST(SpecRoundTripFuzz, OrchSpecIdentity) {
+  Fuzz fuzz{109};
+  for (int i = 0; i < kIterations; ++i) {
+    const auto s = fuzz.orch();
+    SCOPED_TRACE(s.spec());
+    const auto parsed = OrchSpec::parse(s.spec());
+    EXPECT_EQ(parsed, s); // defaulted ==: every mechanism and knob
+    EXPECT_EQ(parsed.spec(), s.spec());
+    EXPECT_EQ(parsed.enabled(), s.enabled());
+  }
+  EXPECT_EQ(OrchSpec::off().spec(), "off");
+  EXPECT_FALSE(OrchSpec::parse("off").enabled());
 }
 
 TEST(SpecRoundTripFuzz, CatalogSpecIdentity) {
